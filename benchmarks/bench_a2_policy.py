@@ -1,0 +1,15 @@
+"""Regenerate A2 — policy threshold ablation (extension beyond the paper's figures)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_a2_policy(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("A2",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "A2"
+    assert result.text

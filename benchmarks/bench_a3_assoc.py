@@ -1,0 +1,15 @@
+"""Regenerate A3 — associativity ablation (extension beyond the paper's figures)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_a3_assoc(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("A3",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "A3"
+    assert result.text

@@ -1,0 +1,15 @@
+"""Regenerate A4 — system size scaling (extension beyond the paper's figures)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_a4_scaling(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("A4",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "A4"
+    assert result.text

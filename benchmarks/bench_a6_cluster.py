@@ -1,0 +1,15 @@
+"""Regenerate A6 — cluster organization (extension beyond the paper)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_a6_cluster(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("A6",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "A6"
+    assert result.text

@@ -1,0 +1,15 @@
+"""Regenerate A7 — switch-cache replacement policy (extension)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_a7_replacement(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("A7",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "A7"
+    assert result.text

@@ -1,0 +1,18 @@
+"""Regenerate A8 — network model validation (fabric vs flit reference)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_a8_validation(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("A8",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "A8"
+    # the models must agree within a few percent on every microbenchmark
+    for label, entry in result.data.items():
+        ratio = entry["fabric"] / entry["flit_ref"]
+        assert 0.9 <= ratio <= 1.1, (label, entry)

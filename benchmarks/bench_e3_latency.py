@@ -1,0 +1,15 @@
+"""Regenerate E3 — remote read latency (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_e3_latency(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("E3",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "E3"
+    assert result.text

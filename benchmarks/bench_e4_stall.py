@@ -1,0 +1,15 @@
+"""Regenerate E4 — read stall time (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_e4_stall(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("E4",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "E4"
+    assert result.text

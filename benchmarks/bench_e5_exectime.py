@@ -1,0 +1,15 @@
+"""Regenerate E5 — normalized execution time (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_e5_exectime(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("E5",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "E5"
+    assert result.text

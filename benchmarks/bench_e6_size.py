@@ -1,0 +1,15 @@
+"""Regenerate E6 — cache size sensitivity (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_e6_size(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("E6",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "E6"
+    assert result.text

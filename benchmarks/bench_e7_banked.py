@@ -1,0 +1,15 @@
+"""Regenerate E7 — CAESAR vs CAESAR+ (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_e7_banked(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("E7",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "E7"
+    assert result.text

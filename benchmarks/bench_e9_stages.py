@@ -1,0 +1,15 @@
+"""Regenerate E9 — hits by MIN stage (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_e9_stages(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("E9",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "E9"
+    assert result.text

@@ -1,0 +1,15 @@
+"""Regenerate F3 — read sharing pattern (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_fig3_sharing(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("F3",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "F3"
+    assert result.text

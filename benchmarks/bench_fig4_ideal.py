@@ -1,0 +1,15 @@
+"""Regenerate F4 — ideal global cache (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_fig4_ideal(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("F4",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "F4"
+    assert result.text

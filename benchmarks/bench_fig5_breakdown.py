@@ -1,0 +1,15 @@
+"""Regenerate F5 — base latency breakdown (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_fig5_breakdown(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("F5",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "F5"
+    assert result.text

@@ -1,0 +1,15 @@
+"""Regenerate T1 — CAESAR access operations and delays (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_table1(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("T1",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "T1"
+    assert result.text

@@ -1,0 +1,15 @@
+"""Regenerate T2 — simulation parameters (paper anchor: see DESIGN.md Sec. 4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import save_report
+
+
+def test_table2(benchmark, report_dir, scale):
+    result = benchmark.pedantic(
+        run_experiment, args=("T2",), kwargs={"scale": scale},
+        rounds=1, iterations=1,
+    )
+    save_report(report_dir, result)
+    assert result.exp_id == "T2"
+    assert result.text

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table/figure of the paper (see
+DESIGN.md Sec. 4).  Simulation runs are memoized inside
+``repro.experiments.common``, so the whole harness executes each distinct
+(app, config) machine exactly once per pytest session; reports are written
+to ``benchmarks/output/<exp-id>.txt`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Input scale used by the benchmark harness."""
+    return "quick"
+
+
+def save_report(report_dir: pathlib.Path, result) -> None:
+    path = report_dir / f"{result.exp_id}.txt"
+    path.write_text(f"== {result.exp_id}: {result.title} ==\n{result.text}\n")

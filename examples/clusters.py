@@ -1,0 +1,53 @@
+"""Bus-based clusters: the same 16 processors, three organizations.
+
+The paper's CC-NUMA machines are built from bus-based clusters; this
+example arranges 16 processors as 16x1, 8x2, and 4x4 (nodes x processors
+per node) and compares the base machine, a per-node network cache, and
+CAESAR switch caches.  The L2s are deliberately small so the network
+cache has capacity re-fetches to serve — the miss class it was designed
+for — while the switch caches keep serving the sharing misses.
+
+Run:  python examples/clusters.py
+"""
+
+from repro import Machine, base_config, netcache_config, switch_cache_config
+from repro.apps import MatrixMultiply
+from repro.stats import format_table
+
+
+def run(config):
+    machine = Machine(config)
+    stats = machine.run(MatrixMultiply(n=24))
+    return machine, stats
+
+
+def main() -> None:
+    rows = []
+    small = dict(l1_size=512, l2_size=2048)
+    for nodes, ppn in ((16, 1), (8, 2), (4, 4)):
+        _m, base = run(base_config(num_nodes=nodes, procs_per_node=ppn, **small))
+        _m, nc = run(netcache_config(num_nodes=nodes, procs_per_node=ppn,
+                                     netcache_size=32 * 1024, **small))
+        _m, sc = run(switch_cache_config(size=2048, num_nodes=nodes,
+                                         procs_per_node=ppn, **small))
+        rows.append(
+            (
+                f"{nodes} x {ppn}",
+                base.exec_time,
+                f"{nc.exec_time / base.exec_time:.3f}",
+                f"{sc.exec_time / base.exec_time:.3f}",
+                nc.read_counts["netcache"],
+                base.read_counts["cluster"],
+                sc.read_counts["switch"],
+            )
+        )
+    print(format_table(
+        ("nodes x procs", "base cycles", "NC (norm)", "SC (norm)",
+         "NC hits", "bus reads", "switch hits"),
+        rows,
+        title="MM (n=24), 16 processors, small L2s: cluster organizations",
+    ))
+
+
+if __name__ == "__main__":
+    main()

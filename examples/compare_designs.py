@@ -1,0 +1,52 @@
+"""The paper's central comparison: base vs network cache vs switch cache.
+
+Runs all six kernels on the three system designs and prints normalized
+execution time and remote-read service counts — the data behind the
+paper's conclusion that in-network caching beats per-node network caches
+when each node has a single processor.
+
+Run:  python examples/compare_designs.py [app ...]
+"""
+
+import sys
+
+from repro import Machine, base_config, netcache_config, switch_cache_config
+from repro.apps import PAPER_APPS
+from repro.stats import format_table
+
+
+def run_design(app_name: str, config):
+    machine = Machine(config)
+    stats = machine.run(PAPER_APPS[app_name]())
+    return stats
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(PAPER_APPS)
+    rows = []
+    for name in names:
+        base = run_design(name, base_config())
+        nc = run_design(name, netcache_config())
+        sc = run_design(name, switch_cache_config(size=2048))
+        rows.append(
+            (
+                name,
+                base.exec_time,
+                f"{nc.exec_time / base.exec_time:.3f}",
+                f"{sc.exec_time / base.exec_time:.3f}",
+                base.reads_at_remote_memory(),
+                nc.reads_at_remote_memory(),
+                sc.reads_at_remote_memory(),
+                sc.read_counts["switch"],
+            )
+        )
+    print(format_table(
+        ("app", "base cycles", "NC (norm)", "SC (norm)",
+         "remote@base", "remote@NC", "remote@SC", "switch hits"),
+        rows,
+        title="Base vs network cache vs CAESAR switch cache",
+    ))
+
+
+if __name__ == "__main__":
+    main()

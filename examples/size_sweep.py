@@ -1,0 +1,43 @@
+"""Switch-cache size sensitivity (the paper's 512-byte claim).
+
+Sweeps the per-switch cache size from 256 B to 8 KB on the high-sharing
+Floyd-Warshall kernel and prints the improvement curve.  The paper's
+claim C4: "a small cache size of 512 bytes is sufficient to provide a
+reasonable performance benefit".
+
+Run:  python examples/size_sweep.py
+"""
+
+from repro import Machine, base_config, switch_cache_config
+from repro.apps import FloydWarshall
+from repro.stats import format_table
+
+
+def main() -> None:
+    app_factory = lambda: FloydWarshall(n=32)
+    base = Machine(base_config()).run(app_factory())
+
+    rows = []
+    for size in (256, 512, 1024, 2048, 4096, 8192):
+        machine = Machine(switch_cache_config(size=size))
+        stats = machine.run(app_factory())
+        totals = machine.switch_cache_stats()
+        rows.append(
+            (
+                f"{size}B",
+                f"{1 - stats.exec_time / base.exec_time:.1%}",
+                stats.read_counts["switch"],
+                totals["deposits"],
+                f"{totals['hits'] / max(1, totals['lookups']):.1%}",
+            )
+        )
+    print(format_table(
+        ("cache size", "exec improvement", "reads served in-network",
+         "deposits", "engine hit rate"),
+        rows,
+        title=f"FWA (n=32): switch-cache size sweep (base = {base.exec_time} cycles)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — Switch Cache (CAESAR) for CC-NUMA multiprocessors.
+
+An execution-driven simulation library reproducing Iyer & Bhuyan,
+"Switch Cache: A Framework for Improving the Remote Memory Access
+Latency of CC-NUMA Multiprocessors" (HPCA 1999).
+
+Quickstart::
+
+    from repro import Machine, switch_cache_config
+    from repro.apps import GaussianElimination
+
+    machine = Machine(switch_cache_config(size=2048))
+    stats = machine.run(GaussianElimination(n=32))
+    print(stats.service_distribution())
+"""
+
+from .errors import (
+    ConfigError,
+    DeadlockError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from .stats.counters import MachineStats
+from .system.config import KB, SystemConfig
+from .system.machine import Machine
+from .system.presets import (
+    base_config,
+    caesar_plus_config,
+    netcache_config,
+    switch_cache_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigError",
+    "DeadlockError",
+    "NetworkError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "MachineStats",
+    "KB",
+    "SystemConfig",
+    "Machine",
+    "base_config",
+    "caesar_plus_config",
+    "netcache_config",
+    "switch_cache_config",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""GE — Gaussian elimination with cyclic row distribution.
+
+At step k every processor eliminates column k from its own rows below
+the pivot, which requires reading pivot row k — produced by one
+processor, *read by all* in the following phase.  This
+producer-to-all-consumers pattern (Figure 3 of the paper) is where
+switch caches shine: the first consumer's reply populates the switches
+on the pivot row's tree and the remaining consumers hit in the network.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..system.addressing import Matrix
+from .base import Application, BarrierSequencer, Op, cyclic_partition
+
+
+class GaussianElimination(Application):
+    name = "GE"
+
+    def __init__(self, n: int = 32, work_per_elem: int = 2) -> None:
+        self.n = n
+        self.work_per_elem = work_per_elem
+        self.a = None
+
+    def setup(self, machine) -> None:
+        n, procs = self.n, machine.num_procs
+        # cyclic distribution: row i lives at (and is updated by) proc i % P
+        self.a = Matrix(
+            machine.space, n, n,
+            row_home=lambda i: machine.node_of_proc(i % procs),
+        )
+
+    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+        n, procs = self.n, machine.num_procs
+        barriers = BarrierSequencer(self.name)
+        my_rows = set(cyclic_partition(n, proc_id, procs))
+        for k in range(n - 1):
+            # the pivot owner normalizes row k
+            if k in my_rows:
+                for j in range(k, n):
+                    yield ("r", self.a.addr(k, j))
+                    yield ("w", self.a.addr(k, j))
+                yield ("work", self.work_per_elem * (n - k))
+            yield ("barrier", barriers.next())
+            # everyone eliminates column k from their rows below k
+            for i in range(k + 1, n):
+                if i not in my_rows:
+                    continue
+                yield ("r", self.a.addr(i, k))
+                for j in range(k, n):
+                    yield ("r", self.a.addr(k, j))  # pivot row: read by all
+                    yield ("r", self.a.addr(i, j))
+                    yield ("w", self.a.addr(i, j))
+                yield ("work", self.work_per_elem * (n - k))
+        yield ("barrier", barriers.next())

@@ -1,0 +1,58 @@
+"""GS — QR factorization by the modified Gram-Schmidt algorithm.
+
+Vectors are distributed cyclically.  At step k the owner of vector k
+normalizes it; every processor then orthogonalizes its own later vectors
+against vector k.  Like GE, the current basis vector is produced by one
+processor and read by all — the paper's strongest read-sharing class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..system.addressing import Matrix
+from .base import Application, BarrierSequencer, Op, cyclic_partition
+
+
+class GramSchmidt(Application):
+    name = "GS"
+
+    def __init__(self, n_vectors: int = 24, length: int = 32, work_per_elem: int = 2) -> None:
+        self.n_vectors = n_vectors
+        self.length = length
+        self.work_per_elem = work_per_elem
+        self.v = None
+
+    def setup(self, machine) -> None:
+        procs = machine.num_procs
+        # vector i is row i, homed at its owner's node
+        self.v = Matrix(
+            machine.space, self.n_vectors, self.length,
+            row_home=lambda i: machine.node_of_proc(i % procs),
+        )
+
+    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+        n, length = self.n_vectors, self.length
+        procs = machine.num_procs
+        barriers = BarrierSequencer(self.name)
+        mine = set(cyclic_partition(n, proc_id, procs))
+        for k in range(n):
+            if k in mine:
+                # normalize vector k: dot(v_k, v_k) then scale
+                for j in range(length):
+                    yield ("r", self.v.addr(k, j))
+                yield ("work", self.work_per_elem * length)
+                for j in range(length):
+                    yield ("w", self.v.addr(k, j))
+            yield ("barrier", barriers.next())
+            # orthogonalize my later vectors against v_k (read by all)
+            for i in range(k + 1, n):
+                if i not in mine:
+                    continue
+                for j in range(length):
+                    yield ("r", self.v.addr(k, j))
+                    yield ("r", self.v.addr(i, j))
+                yield ("work", self.work_per_elem * length)
+                for j in range(length):
+                    yield ("w", self.v.addr(i, j))
+        yield ("barrier", barriers.next())

@@ -1,0 +1,179 @@
+"""Trace-driven front-end: record and replay memory-reference traces.
+
+The execution-driven kernels are the primary workloads, but a
+trace-driven mode is useful for (a) replaying reference streams captured
+elsewhere, (b) decoupling workload generation from simulation, and
+(c) regression-pinning an exact stream.
+
+Trace format — one op per line, whitespace separated::
+
+    <proc> r <addr>
+    <proc> w <addr>
+    <proc> work <cycles>
+    <proc> barrier <id>
+    <proc> lock <id>
+    <proc> unlock <id>
+    # comments and blank lines are ignored
+
+Addresses may be decimal or 0x-hex.  A trace file carries *absolute*
+addresses, so replay must target a machine whose address space maps them
+to the same homes; :class:`TraceRecorder` therefore stores the recorded
+machine's full allocation layout in ``#range`` header lines and
+:class:`TraceApplication` restores it at setup.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, TextIO, Tuple, Union
+
+from ..errors import ConfigError
+from .base import Application, Op
+
+_INT_OPS = frozenset({"r", "w", "work", "barrier", "lock", "unlock"})
+_HEADER = "#repro-trace v1"
+_RANGE = "#range"
+
+
+def format_op(proc: int, op: Op) -> str:
+    """One trace line for an op."""
+    code = op[0]
+    if code not in _INT_OPS:
+        raise ConfigError(f"cannot serialize op {op!r}")
+    arg = op[1]
+    if code in ("r", "w"):
+        return f"{proc} {code} {arg:#x}"
+    return f"{proc} {code} {arg}"
+
+
+def parse_line(line: str) -> Union[Tuple[int, Op], None]:
+    """Parse one trace line; None for blanks/comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    parts = stripped.split()
+    if len(parts) != 3:
+        raise ConfigError(f"malformed trace line: {line!r}")
+    proc_str, code, arg_str = parts
+    if code not in _INT_OPS:
+        raise ConfigError(f"unknown op {code!r} in trace line: {line!r}")
+    proc = int(proc_str)
+    arg = int(arg_str, 0)
+    return proc, (code, arg)
+
+
+class TraceRecorder:
+    """Wraps an application, recording every op it emits.
+
+    Use it exactly like the wrapped app::
+
+        recorder = TraceRecorder(GaussianElimination(n=16))
+        machine.run(recorder)
+        recorder.save(path)
+
+    The recorded streams replay with :class:`TraceApplication`.
+    """
+
+    def __init__(self, app: Application) -> None:
+        self.app = app
+        self.name = f"trace({app.name})"
+        self.recorded: Dict[int, List[Op]] = defaultdict(list)
+        self._layout = []
+        self._machine = None
+
+    def setup(self, machine) -> None:
+        self.app.setup(machine)
+        self._machine = machine
+
+    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+        bucket = self.recorded[proc_id]
+        for op in self.app.ops(proc_id, machine):
+            bucket.append(op)
+            yield op
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def dump(self, stream: TextIO) -> None:
+        stream.write(_HEADER + "\n")
+        layout = (
+            self._machine.space.export_layout() if self._machine is not None else []
+        )
+        for start, end, home in layout:
+            home_str = "interleave" if home is None else str(home)
+            stream.write(f"{_RANGE} {start:#x} {end:#x} {home_str}\n")
+        for proc in sorted(self.recorded):
+            for op in self.recorded[proc]:
+                stream.write(format_op(proc, op) + "\n")
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            self.dump(f)
+
+    def dumps(self) -> str:
+        buffer = io.StringIO()
+        self.dump(buffer)
+        return buffer.getvalue()
+
+
+class TraceApplication(Application):
+    """Replays a recorded trace as an application.
+
+    Accepts a path, an open text stream, or an iterable of lines.  The
+    per-processor op order is exactly the recorded order; inter-processor
+    interleaving is re-decided by the simulated timing (as it would be on
+    real hardware), with barriers/locks reproducing the synchronization
+    structure.
+    """
+
+    name = "trace"
+
+    def __init__(self, source: Union[str, TextIO, Iterable[str]]) -> None:
+        self._source = source
+        self.streams: Dict[int, List[Op]] = {}
+        self.layout: List[Tuple[int, int, Union[int, None]]] = []
+        self._loaded = False
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        if isinstance(self._source, str):
+            with open(self._source) as f:
+                lines = f.readlines()
+        elif hasattr(self._source, "read"):
+            lines = self._source.readlines()
+        else:
+            lines = list(self._source)
+        streams: Dict[int, List[Op]] = defaultdict(list)
+        for line in lines:
+            if line.startswith(_RANGE):
+                _tag, start_s, end_s, home_s = line.split()
+                home = None if home_s == "interleave" else int(home_s)
+                self.layout.append((int(start_s, 0), int(end_s, 0), home))
+                continue
+            parsed = parse_line(line)
+            if parsed is None:
+                continue
+            proc, op = parsed
+            streams[proc].append(op)
+        self.streams = dict(streams)
+        self._loaded = True
+
+    def setup(self, machine) -> None:
+        self._load()
+        if self.streams:
+            max_proc = max(self.streams)
+            if max_proc >= machine.config.num_nodes:
+                raise ConfigError(
+                    f"trace references processor {max_proc} but the machine "
+                    f"has {machine.config.num_nodes} nodes"
+                )
+        if self.layout:
+            # recreate the recorded machine's allocation map so every
+            # address resolves to the same home node it had when recorded
+            machine.space.restore_layout(self.layout)
+
+    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+        self._load()
+        yield from self.streams.get(proc_id, [])

@@ -1,0 +1,17 @@
+"""SRAM cache substrate: arrays, MSI states, hierarchy, write buffer."""
+
+from .array import CacheArray, CacheLine
+from .hierarchy import CacheHierarchy, ReadResult, WriteResult
+from .states import DirState, LineState
+from .writebuffer import WriteBuffer
+
+__all__ = [
+    "CacheArray",
+    "CacheLine",
+    "CacheHierarchy",
+    "ReadResult",
+    "WriteResult",
+    "DirState",
+    "LineState",
+    "WriteBuffer",
+]

@@ -1,0 +1,214 @@
+"""Set-associative SRAM cache array mechanics.
+
+This is pure state bookkeeping — hit/miss decisions, LRU replacement,
+invalidation — with no timing.  Timing lives in the controllers that own an
+array (the node-side hierarchy, the network cache, and the CAESAR switch
+cache), because each of those clocks its array differently.
+
+Lines carry a ``data`` payload.  Throughout the simulator the payload is a
+*version number* for the block (incremented by every write), which lets the
+test suite check coherence end-to-end: a read must never observe a version
+older than the last write that completed before it.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .states import LineState
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class CacheLine:
+    """One cache line: tag, MSI state, payload, and LRU timestamp."""
+
+    __slots__ = ("tag", "state", "data", "lru")
+
+    def __init__(self, tag: int, state: LineState, data: int, lru: int) -> None:
+        self.tag = tag
+        self.state = state
+        self.data = data
+        self.lru = lru
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Line tag={self.tag:#x} {self.state.value} v{self.data}>"
+
+
+class CacheArray:
+    """A set-associative array with configurable replacement.
+
+    Parameters mirror a hardware description: total ``size`` in bytes,
+    ``block_size`` in bytes, ``assoc`` ways.  ``size`` must be a multiple of
+    ``block_size * assoc`` and the resulting set count a power of two (the
+    paper's caches are all power-of-two sized).
+
+    ``replacement`` selects the victim policy: ``'lru'`` (true LRU,
+    default), ``'fifo'`` (insertion order; cheaper hardware since hits do
+    not touch the replacement state), or ``'random'`` (seeded, so runs
+    stay deterministic).
+    """
+
+    REPLACEMENT_POLICIES = ("lru", "fifo", "random")
+
+    def __init__(
+        self,
+        size: int,
+        block_size: int,
+        assoc: int,
+        name: str = "",
+        replacement: str = "lru",
+        seed: int = 0xCAE5A,
+    ) -> None:
+        if replacement not in self.REPLACEMENT_POLICIES:
+            raise ConfigError(f"unknown replacement policy {replacement!r}")
+        self.replacement = replacement
+        self._rng = _random.Random(seed) if replacement == "random" else None
+        if block_size <= 0 or not _is_power_of_two(block_size):
+            raise ConfigError(f"block_size must be a power of two, got {block_size}")
+        if assoc <= 0:
+            raise ConfigError(f"assoc must be positive, got {assoc}")
+        if size <= 0 or size % (block_size * assoc) != 0:
+            raise ConfigError(
+                f"cache size {size} not a multiple of block_size*assoc "
+                f"({block_size}*{assoc})"
+            )
+        num_sets = size // (block_size * assoc)
+        if not _is_power_of_two(num_sets):
+            raise ConfigError(f"set count {num_sets} is not a power of two")
+        self.size = size
+        self.block_size = block_size
+        self.assoc = assoc
+        self.num_sets = num_sets
+        self.name = name
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(num_sets)]
+        self._tick = 0
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def block_of(self, addr: int) -> int:
+        return addr // self.block_size
+
+    def _index(self, block: int) -> Tuple[int, int]:
+        return block % self.num_sets, block // self.num_sets
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def probe(self, addr: int) -> Optional[CacheLine]:
+        """Hit test *without* updating LRU or statistics (snoop-style)."""
+        set_idx, tag = self._index(self.block_of(addr))
+        line = self._sets[set_idx].get(tag)
+        if line is not None and line.state is not LineState.INVALID:
+            return line
+        return None
+
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        """Hit test that updates LRU and hit/miss statistics."""
+        line = self.probe(addr)
+        if line is None:
+            self.misses += 1
+            return None
+        if self.replacement == "lru":
+            self._tick += 1
+            line.lru = self._tick
+        self.hits += 1
+        return line
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(
+        self, addr: int, state: LineState, data: int
+    ) -> Optional[Tuple[int, LineState, int]]:
+        """Install a block, evicting LRU if the set is full.
+
+        Returns ``(victim_addr, victim_state, victim_data)`` when a valid
+        line was displaced, else None.  Inserting over an existing line for
+        the same block updates it in place (no eviction).
+        """
+        block = self.block_of(addr)
+        set_idx, tag = self._index(block)
+        cache_set = self._sets[set_idx]
+        self._tick += 1
+        existing = cache_set.get(tag)
+        if existing is not None:
+            existing.state = state
+            existing.data = data
+            existing.lru = self._tick
+            return None
+        victim_info = None
+        if len(cache_set) >= self.assoc:
+            if self._rng is not None:
+                victim_tag = self._rng.choice(sorted(cache_set))
+                victim = cache_set[victim_tag]
+            else:
+                # LRU and FIFO both evict the minimum timestamp; they
+                # differ in whether hits refresh it (see lookup)
+                victim_tag, victim = min(
+                    cache_set.items(), key=lambda kv: kv[1].lru
+                )
+            del cache_set[victim_tag]
+            if victim.state is not LineState.INVALID:
+                self.evictions += 1
+                victim_block = victim_tag * self.num_sets + set_idx
+                victim_info = (victim_block * self.block_size, victim.state, victim.data)
+        cache_set[tag] = CacheLine(tag, state, data, self._tick)
+        return victim_info
+
+    def set_state(self, addr: int, state: LineState) -> None:
+        """Change the state of a resident line (line must be present)."""
+        line = self.probe(addr)
+        if line is None:
+            raise KeyError(f"set_state on non-resident block {addr:#x}")
+        line.state = state
+
+    def invalidate(self, addr: int) -> Optional[Tuple[LineState, int]]:
+        """Drop a block if present; returns its former (state, data)."""
+        set_idx, tag = self._index(self.block_of(addr))
+        cache_set = self._sets[set_idx]
+        line = cache_set.get(tag)
+        if line is None or line.state is LineState.INVALID:
+            return None
+        del cache_set[tag]
+        self.invalidations += 1
+        return line.state, line.data
+
+    def clear(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def resident_blocks(self) -> Iterator[Tuple[int, CacheLine]]:
+        """Yield ``(block_start_addr, line)`` for every valid line."""
+        for set_idx, cache_set in enumerate(self._sets):
+            for tag, line in cache_set.items():
+                if line.state is not LineState.INVALID:
+                    block = tag * self.num_sets + set_idx
+                    yield block * self.block_size, line
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CacheArray {self.name or ''} {self.size}B "
+            f"{self.num_sets}x{self.assoc}x{self.block_size}B>"
+        )

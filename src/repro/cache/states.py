@@ -1,0 +1,47 @@
+"""MSI line states shared by all cache levels.
+
+The paper's system uses an invalidation-based three-state (MSI) protocol in
+the processor caches and a full-map directory at the home memories [7].
+Switch caches only ever hold clean shared data, so they reuse ``SHARED``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LineState(enum.Enum):
+    """Coherence state of one cache line.
+
+    ``EXCLUSIVE`` exists only when the machine runs the MESI protocol
+    extension (``SystemConfig.protocol = "mesi"``): a clean sole copy
+    that may be written without a coherence transaction (silent E -> M).
+    """
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    MODIFIED = "M"
+
+    def readable(self) -> bool:
+        """Whether a read can be satisfied from this state."""
+        return self is not LineState.INVALID
+
+    def writable(self) -> bool:
+        """Whether a write can be performed without a coherence action.
+
+        EXCLUSIVE counts: the write silently promotes the line to M.
+        """
+        return self in (LineState.MODIFIED, LineState.EXCLUSIVE)
+
+    def owned(self) -> bool:
+        """Whether this copy is the block's sole (owner) copy."""
+        return self in (LineState.MODIFIED, LineState.EXCLUSIVE)
+
+
+class DirState(enum.Enum):
+    """Directory-entry state at a home node (full-map, three states [7])."""
+
+    UNOWNED = "U"
+    SHARED = "S"
+    MODIFIED = "M"

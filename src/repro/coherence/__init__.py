@@ -1,0 +1,15 @@
+"""Directory-based MSI coherence substrate."""
+
+from .directory import DirEntry, Directory
+from .home import HomeController
+from .l2ctrl import NodeController
+from .messages import Transaction, make_message
+
+__all__ = [
+    "DirEntry",
+    "Directory",
+    "HomeController",
+    "NodeController",
+    "Transaction",
+    "make_message",
+]

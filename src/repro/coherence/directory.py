@@ -1,0 +1,105 @@
+"""Full-map three-state directory (Censier & Feautrier [7]).
+
+Each home node keeps, for every memory block it owns, a full-map bit
+vector of the nodes that may hold a shared copy, or the identity of the
+single owner when the block is modified.  The directory also holds the
+memory image itself; block payloads are version numbers (see
+:mod:`repro.cache.array`), incremented by each completed write, which the
+test suite uses to verify coherence end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..cache.states import DirState
+from ..errors import ProtocolError
+
+
+class DirEntry:
+    """Directory state for one block."""
+
+    __slots__ = ("state", "sharers", "owner", "version")
+
+    def __init__(self) -> None:
+        self.state = DirState.UNOWNED
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+        self.version = 0  # current memory image (stale while MODIFIED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DirEntry {self.state.value} sharers={sorted(self.sharers)} "
+            f"owner={self.owner} v{self.version}>"
+        )
+
+
+class Directory:
+    """All directory entries homed at one node."""
+
+    def __init__(self, node_id: int, block_size: int) -> None:
+        self.node_id = node_id
+        self.block_size = block_size
+        self._entries: Dict[int, DirEntry] = {}
+
+    def _block(self, addr: int) -> int:
+        return (addr // self.block_size) * self.block_size
+
+    def entry(self, addr: int) -> DirEntry:
+        block = self._block(addr)
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = DirEntry()
+            self._entries[block] = entry
+        return entry
+
+    def peek(self, addr: int) -> Optional[DirEntry]:
+        return self._entries.get(self._block(addr))
+
+    # ------------------------------------------------------------------
+    # transitions (pure bookkeeping; the home controller adds timing)
+    # ------------------------------------------------------------------
+    def add_sharer(self, addr: int, node: int) -> None:
+        entry = self.entry(addr)
+        if entry.state is DirState.MODIFIED:
+            raise ProtocolError(
+                f"add_sharer on MODIFIED block {addr:#x} (owner {entry.owner})"
+            )
+        entry.state = DirState.SHARED
+        entry.sharers.add(node)
+
+    def set_owner(self, addr: int, node: int, version: Optional[int] = None) -> None:
+        entry = self.entry(addr)
+        entry.state = DirState.MODIFIED
+        entry.sharers = set()
+        entry.owner = node
+        if version is not None:
+            entry.version = version
+
+    def writeback(self, addr: int, node: int, version: int) -> None:
+        """Owner returned dirty data (eviction or recall)."""
+        entry = self.entry(addr)
+        if entry.state is not DirState.MODIFIED or entry.owner != node:
+            raise ProtocolError(
+                f"writeback of {addr:#x} from non-owner {node}: {entry!r}"
+            )
+        entry.state = DirState.UNOWNED
+        entry.owner = None
+        entry.version = version
+
+    def clear_sharers(self, addr: int) -> Set[int]:
+        entry = self.entry(addr)
+        sharers = entry.sharers
+        entry.sharers = set()
+        if entry.state is DirState.SHARED:
+            entry.state = DirState.UNOWNED
+        return sharers
+
+    # ------------------------------------------------------------------
+    # introspection (used by invariant checks)
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[Tuple[int, DirEntry]]:
+        return iter(self._entries.items())
+
+    def version_of(self, addr: int) -> int:
+        return self.entry(addr).version

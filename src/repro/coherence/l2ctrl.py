@@ -1,0 +1,311 @@
+"""Node-side coherence controller (L2 controller + MSHRs).
+
+Sits between a processor's cache hierarchy and the system: it turns L2
+misses into directory transactions, handles incoming protocol traffic
+(invalidations, recalls) against the hierarchy, fills replies, and spills
+dirty victims as writebacks.  One MSHR per block; the processor model
+guarantees at most one outstanding read plus one outstanding write drain,
+and never both to the same block (reads that match a pending write-buffer
+entry are forwarded from the buffer instead).
+
+The *late invalidation* race is handled DASH-style: an INV that arrives
+while the block's reply is still in flight marks the MSHR; the reply's
+data is then delivered to the processor once but not installed in any
+cache.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..cache.hierarchy import CacheHierarchy
+from ..cache.states import LineState
+from ..errors import ProtocolError
+from ..memory.netcache import NetworkCache
+from ..memory.nic import NetworkInterface
+from ..sim.engine import Simulator
+from .messages import Transaction, make_message
+
+
+# imported lazily by name to avoid a hard import cycle in type checkers
+from ..network.message import Message, MsgKind
+
+
+class NodeController:
+    """Coherence controller for one node's processor side."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        hierarchy: CacheHierarchy,
+        ni: NetworkInterface,
+        home_of: Callable[[int], int],
+        block_size: int,
+        netcache: Optional[NetworkCache] = None,
+        proc_id: Optional[int] = None,
+        probe_netcache: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.hierarchy = hierarchy
+        self.ni = ni
+        self.home_of = home_of
+        self.block_size = block_size
+        self.netcache = netcache
+        self.proc_id = proc_id
+        self.probe_netcache = probe_netcache
+        self._mshr: Dict[int, Transaction] = {}
+        # statistics
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.upgrades_issued = 0
+        self.writebacks_sent = 0
+        self.invs_received = 0
+        self.late_invals = 0
+
+    def _block(self, addr: int) -> int:
+        return (addr // self.block_size) * self.block_size
+
+    def _req_payload(self):
+        return {"proc": self.proc_id} if self.proc_id is not None else None
+
+    def mark_pending_inval(self, block: int) -> None:
+        """Node-level INV handling: flag an in-flight read as use-once."""
+        pending = self._mshr.get(block)
+        if pending is not None and pending.kind == "read":
+            pending.pending_inval = True
+
+    # ------------------------------------------------------------------
+    # processor-facing: miss issue
+    # ------------------------------------------------------------------
+    def issue_read(
+        self, addr: int, callback: Callable[[Transaction], None]
+    ) -> Transaction:
+        """L1+L2 read miss: probe the network cache, then go to the home."""
+        block = self._block(addr)
+        home = self.home_of(block)
+        txn = Transaction(
+            "read", block, self.node_id, home, self.block_size, self.sim.now, callback
+        )
+        self.reads_issued += 1
+        if block in self._mshr:
+            raise ProtocolError(
+                f"node {self.node_id}: MSHR conflict on {block:#x} "
+                f"(pending {self._mshr[block]!r})"
+            )
+        if (self.probe_netcache and self.netcache is not None
+                and home != self.node_id):
+            data, done = self.netcache.lookup(block)
+            if data is not None:
+                txn.served_by = "netcache"
+                txn.data = data
+                self.sim.at(done, lambda: self._complete_nc_read(txn))
+                return txn
+            # miss: the probe's latency is paid before the request departs
+            self._mshr[block] = txn
+            msg = make_message(
+                MsgKind.READ, self.node_id, home, block, self.block_size,
+                payload=self._req_payload(), transaction=txn,
+            )
+            txn.req_msg = msg
+            self.ni.send(msg, at=done)
+            return txn
+        self._mshr[block] = txn
+        msg = make_message(
+            MsgKind.READ, self.node_id, home, block, self.block_size,
+            payload=self._req_payload(), transaction=txn,
+        )
+        txn.req_msg = msg
+        self.ni.send(msg)
+        return txn
+
+    def _complete_nc_read(self, txn: Transaction) -> None:
+        victim = self.hierarchy.fill(txn.addr, LineState.SHARED, txn.data, fill_l1=True)
+        self._spill(victim)
+        self._finish(txn)
+
+    def issue_write(
+        self, addr: int, callback: Callable[[Transaction], None]
+    ) -> Transaction:
+        """Write-buffer drain needs ownership: upgrade or read-exclusive."""
+        block = self._block(addr)
+        home = self.home_of(block)
+        state = self.hierarchy.state_of(block)
+        if state is LineState.SHARED:
+            kind, txn_kind = MsgKind.UPGRADE, "upgrade"
+            self.upgrades_issued += 1
+        else:
+            kind, txn_kind = MsgKind.READX, "write"
+            self.writes_issued += 1
+        txn = Transaction(
+            txn_kind, block, self.node_id, home, self.block_size, self.sim.now, callback
+        )
+        if block in self._mshr:
+            raise ProtocolError(
+                f"node {self.node_id}: MSHR conflict on write to {block:#x}"
+            )
+        self._mshr[block] = txn
+        msg = make_message(
+            kind, self.node_id, home, block, self.block_size,
+            payload=self._req_payload(), transaction=txn,
+        )
+        txn.req_msg = msg
+        self.ni.send(msg)
+        return txn
+
+    # ------------------------------------------------------------------
+    # network-facing: receive
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        kind = msg.kind
+        if kind is MsgKind.DATA_S:
+            self._on_data_s(msg)
+        elif kind is MsgKind.DATA_X:
+            self._on_data_x(msg)
+        elif kind is MsgKind.DATA_E:
+            self._on_data_e(msg)
+        elif kind is MsgKind.UPGR_ACK:
+            self._on_upgr_ack(msg)
+        elif kind is MsgKind.INV:
+            self._on_inv(msg)
+        elif kind in (MsgKind.RECALL, MsgKind.RECALL_X):
+            self._on_recall(msg)
+        else:
+            raise ProtocolError(f"node {self.node_id} got unexpected {msg!r}")
+
+    def _pop_mshr(self, msg: Message) -> Transaction:
+        block = self._block(msg.addr)
+        txn = self._mshr.pop(block, None)
+        if txn is None:
+            raise ProtocolError(
+                f"node {self.node_id}: reply {msg!r} matches no MSHR"
+            )
+        return txn
+
+    def _on_data_s(self, msg: Message) -> None:
+        txn = self._pop_mshr(msg)
+        txn.reply_msg = msg
+        txn.data = msg.data
+        served_by = msg.payload.get("served_by", "home_mem")
+        if served_by == "switch":
+            txn.served_by = "switch"
+            txn.served_stage = msg.payload.get("served_stage")
+        elif served_by == "owner":
+            txn.served_by = "owner"
+        else:
+            txn.served_by = "local_mem" if txn.home == self.node_id else "remote_mem"
+        if txn.pending_inval:
+            # use-once data: deliver to the processor, install nowhere
+            self.late_invals += 1
+            self._finish(txn)
+            return
+        victim = self.hierarchy.fill(txn.addr, LineState.SHARED, msg.data, fill_l1=True)
+        self._spill(victim)
+        if self.netcache is not None and txn.home != self.node_id:
+            self.netcache.fill(txn.addr, msg.data)
+        self._finish(txn)
+
+    def _on_data_x(self, msg: Message) -> None:
+        txn = self._pop_mshr(msg)
+        txn.reply_msg = msg
+        txn.data = msg.data
+        txn.served_by = "home_mem"
+        victim = self.hierarchy.fill(txn.addr, LineState.MODIFIED, msg.data)
+        self._spill(victim)
+        self._finish(txn)
+
+    def _on_data_e(self, msg: Message) -> None:
+        txn = self._pop_mshr(msg)
+        txn.reply_msg = msg
+        txn.data = msg.data
+        txn.served_by = "local_mem" if txn.home == self.node_id else "remote_mem"
+        if txn.pending_inval:
+            self.late_invals += 1
+            self._finish(txn)
+            return
+        victim = self.hierarchy.fill(
+            txn.addr, LineState.EXCLUSIVE, msg.data, fill_l1=True
+        )
+        self._spill(victim)
+        self._finish(txn)
+
+    def _on_upgr_ack(self, msg: Message) -> None:
+        txn = self._pop_mshr(msg)
+        txn.reply_msg = msg
+        state = self.hierarchy.state_of(txn.addr)
+        if state is not LineState.SHARED:
+            raise ProtocolError(
+                f"node {self.node_id}: UPGR_ACK but line is {state} — the home "
+                f"should have escalated to READX"
+            )
+        self.hierarchy.upgrade(txn.addr)
+        self._finish(txn)
+
+    def _on_inv(self, msg: Message) -> None:
+        self.invs_received += 1
+        block = self._block(msg.addr)
+        if msg.payload.get("purge_only"):
+            # our own upgrade/write: the L2 copy stays (it becomes the M
+            # copy) but the network cache's clean copy is now stale
+            if self.netcache is not None:
+                self.netcache.invalidate(block)
+        else:
+            self.hierarchy.invalidate(block)
+            if self.netcache is not None:
+                self.netcache.invalidate(block)
+            pending = self._mshr.get(block)
+            if pending is not None and pending.kind == "read":
+                pending.pending_inval = True
+        if not msg.payload.get("no_ack"):
+            ack = make_message(
+                MsgKind.INV_ACK, self.node_id, msg.src, block, self.block_size
+            )
+            self.ni.send(ack)
+
+    def _on_recall(self, msg: Message) -> None:
+        block = self._block(msg.addr)
+        state = self.hierarchy.state_of(block)
+        if state.owned():
+            if msg.kind is MsgKind.RECALL:
+                data = self.hierarchy.downgrade(block)
+            else:
+                _state, data = self.hierarchy.invalidate(block)
+                if self.netcache is not None:
+                    self.netcache.invalidate(block)
+            reply = make_message(
+                MsgKind.RECALL_REPLY, self.node_id, msg.src, block,
+                self.block_size, data=data,
+            )
+        else:
+            # eviction raced the recall; the writeback is already in flight
+            reply = make_message(
+                MsgKind.RECALL_REPLY, self.node_id, msg.src, block,
+                self.block_size, payload={"no_data": True},
+            )
+        self.ni.send(reply)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _spill(self, victim) -> None:
+        """Send a displaced dirty L2 victim home as a writeback."""
+        if victim is None:
+            return
+        victim_addr, victim_data = victim
+        home = self.home_of(victim_addr)
+        self.writebacks_sent += 1
+        wb = make_message(
+            MsgKind.WRITEBACK, self.node_id, home, victim_addr,
+            self.block_size, data=victim_data,
+        )
+        self.ni.send(wb)
+
+    def _finish(self, txn: Transaction) -> None:
+        txn.completed_at = self.sim.now
+        if txn.callback is not None:
+            txn.callback(txn)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._mshr)

@@ -1,0 +1,108 @@
+"""Coherence transactions and message construction helpers.
+
+A :class:`Transaction` is the node-side record of one outstanding
+coherence operation (an L2 read miss, a write-ownership acquisition, or an
+upgrade).  It carries the timestamps from which the paper's latency
+breakdowns (Figure-5-style) are computed and the service classification
+("where was this read served?") used by the evaluation figures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional
+
+from ..network.message import Message, MsgKind, flits_for
+
+_txn_ids = itertools.count()
+
+
+class Transaction:
+    """One outstanding coherence operation from a node's point of view."""
+
+    __slots__ = (
+        "id",
+        "kind",
+        "addr",
+        "node",
+        "home",
+        "block_size",
+        "issued_at",
+        "completed_at",
+        "served_by",
+        "served_stage",
+        "pending_inval",
+        "callback",
+        "data",
+        "req_msg",
+        "reply_msg",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        addr: int,
+        node: int,
+        home: int,
+        block_size: int,
+        issued_at: int,
+        callback: Optional[Callable[["Transaction"], None]] = None,
+    ) -> None:
+        if kind not in ("read", "write", "upgrade"):
+            raise ValueError(f"bad transaction kind {kind!r}")
+        self.id = next(_txn_ids)
+        self.kind = kind
+        self.addr = addr
+        self.node = node
+        self.home = home
+        self.block_size = block_size
+        self.issued_at = issued_at
+        self.completed_at: int = -1
+        # where the read was ultimately served:
+        # 'local_mem' | 'remote_mem' | 'owner' | 'netcache' | 'switch'
+        self.served_by: Optional[str] = None
+        self.served_stage: Optional[int] = None
+        self.pending_inval = False
+        self.callback = callback
+        self.data: Optional[int] = None
+        self.req_msg: Optional[Message] = None
+        self.reply_msg: Optional[Message] = None
+
+    @property
+    def is_remote(self) -> bool:
+        return self.node != self.home
+
+    @property
+    def latency(self) -> int:
+        if self.completed_at < 0:
+            raise ValueError("transaction not complete")
+        return self.completed_at - self.issued_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Txn#{self.id} {self.kind} n{self.node}->h{self.home} "
+            f"addr={self.addr:#x} served_by={self.served_by}>"
+        )
+
+
+def make_message(
+    kind: MsgKind,
+    src: int,
+    dst: int,
+    addr: int,
+    block_size: int,
+    data: Optional[int] = None,
+    payload: Optional[Dict[str, Any]] = None,
+    transaction: Optional[Transaction] = None,
+) -> Message:
+    """Build a message with the correct worm length for its kind."""
+    return Message(
+        kind=kind,
+        src=src,
+        dst=dst,
+        addr=addr,
+        flits=flits_for(kind, block_size),
+        data=data,
+        payload=payload,
+        transaction=transaction,
+    )

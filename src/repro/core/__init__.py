@@ -1,0 +1,12 @@
+"""The paper's contribution: CAESAR switch caches."""
+
+from .caesar import CaesarEngine
+from .policy import CachingPolicy
+from .switchcache import SwitchCacheGeometry, SwitchCacheSRAM
+
+__all__ = [
+    "CaesarEngine",
+    "CachingPolicy",
+    "SwitchCacheGeometry",
+    "SwitchCacheSRAM",
+]

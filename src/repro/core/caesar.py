@@ -1,0 +1,107 @@
+"""CAESAR: the CAche Embedded Switch ARchitecture engine.
+
+One :class:`CaesarEngine` lives inside each switch of a switch-cache
+interconnect.  The fabric calls exactly three hooks as worm headers arrive:
+
+* :meth:`snoop` — an INV worm passes: purge a matching block (second tag
+  port, never skipped, never delays the worm).
+* :meth:`try_deposit` — a DATA_S worm passes: opportunistically capture
+  the block as it streams through the switch.
+* :meth:`try_intercept` — a READ worm arrives: probe the cache; on a hit
+  return the data and the time at which the fabricated reply's header can
+  start (tag check + data-array streaming); on a miss or a policy bypass
+  return None and the worm is forwarded untouched.
+
+The engine keeps the per-switch statistics the evaluation section reports
+(hits by request, deposits, bypasses, snoop purges).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..network.message import Message
+from ..sim.engine import Simulator
+from .policy import CachingPolicy
+from .switchcache import SwitchCacheGeometry, SwitchCacheSRAM
+
+
+class CaesarEngine:
+    """Cache engine embedded in one switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch_id: Tuple[int, int],
+        geometry: SwitchCacheGeometry,
+        policy: Optional[CachingPolicy] = None,
+    ) -> None:
+        self.sim = sim
+        self.switch_id = switch_id
+        self.stage = switch_id[0]
+        self.geo = geometry
+        self.policy = policy if policy is not None else CachingPolicy()
+        self.sram = SwitchCacheSRAM(sim, geometry, name=f"sc{switch_id}")
+        self._enabled = self.policy.stage_enabled(self.stage)
+        # statistics
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.deposits = 0
+        self.deposit_skips = 0
+        self.snoops = 0
+        self.purges = 0
+
+    # ------------------------------------------------------------------
+    # fabric hooks
+    # ------------------------------------------------------------------
+    def snoop(self, msg: Message) -> None:
+        """INV passing through: purge a matching block.  Never skipped."""
+        self.snoops += 1
+        purged, _done = self.sram.snoop_invalidate(msg.addr)
+        if purged:
+            self.purges += 1
+
+    def try_deposit(self, msg: Message) -> bool:
+        """DATA_S passing through: capture the block unless the bank is busy."""
+        if not self._enabled:
+            return False
+        if not self.policy.should_deposit(self.sram.data_backlog(msg.addr)):
+            self.deposit_skips += 1
+            return False
+        self.sram.write(msg.addr, msg.data)
+        self.deposits += 1
+        return True
+
+    def try_intercept(self, msg: Message) -> Optional[Tuple[int, int]]:
+        """READ arriving: probe; return (data, reply_ready_time) on a hit."""
+        if not self._enabled:
+            return None
+        if not self.policy.should_check(self.sram.tag_backlog()):
+            self.bypasses += 1
+            return None
+        self.lookups += 1
+        data, done = self.sram.read(msg.addr)
+        if data is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data, done
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def array(self):
+        return self.sram.array
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CaesarEngine sw={self.switch_id} {self.geo.describe()} "
+            f"hits={self.hits}/{self.lookups}>"
+        )

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by the simulator derives from
+:class:`ReproError`, so callers can catch simulator problems without
+swallowing genuine programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent system configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internal inconsistency.
+
+    These indicate bugs in component models (e.g. a protocol state machine
+    receiving a message it can never legally receive), not user error.
+    """
+
+
+class ProtocolError(SimulationError):
+    """A coherence-protocol invariant was violated."""
+
+
+class NetworkError(SimulationError):
+    """A network-model invariant was violated (routing, flow control)."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while components still had pending work."""

@@ -1,0 +1,16 @@
+"""Per-table/figure experiment harness (see DESIGN.md Sec. 4)."""
+
+from .common import APP_ORDER, APP_SCALES, ExperimentResult, RunRecord, clear_cache, make_app, run
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "APP_ORDER",
+    "APP_SCALES",
+    "ExperimentResult",
+    "RunRecord",
+    "clear_cache",
+    "make_app",
+    "run",
+    "EXPERIMENTS",
+    "run_experiment",
+]

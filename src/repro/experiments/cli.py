@@ -1,0 +1,94 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments run --exp E5
+    repro-experiments run --all --scale full
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from .registry import EXPERIMENTS, run_experiment
+
+
+def _jsonify(value):
+    """Make experiment `data` JSON-serializable (tuple keys -> strings)."""
+    if isinstance(value, dict):
+        return {
+            "|".join(map(str, k)) if isinstance(k, tuple) else str(k):
+                _jsonify(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of the Switch Cache paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_p = sub.add_parser("run", help="run one or all experiments")
+    run_p.add_argument("--exp", action="append", help="experiment id (repeatable)")
+    run_p.add_argument("--all", action="store_true", help="run every experiment")
+    run_p.add_argument(
+        "--scale", choices=("quick", "full"), default="quick",
+        help="input scale (full = paper-scale, slower)",
+    )
+    run_p.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="also write each experiment's raw data as DIR/<id>.json",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id, (title, _runner) in EXPERIMENTS.items():
+            print(f"{exp_id:4s} {title}")
+        return 0
+    exp_ids = list(EXPERIMENTS) if args.all else (args.exp or [])
+    if not exp_ids:
+        print("nothing to run: pass --all or --exp <id>", file=sys.stderr)
+        return 2
+    unknown = [e for e in exp_ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    json_dir = pathlib.Path(args.json) if args.json else None
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+    for exp_id in exp_ids:
+        started = time.time()
+        result = run_experiment(exp_id, scale=args.scale)
+        elapsed = time.time() - started
+        print(f"== {result.exp_id}: {result.title} [{elapsed:.1f}s] ==")
+        print(result.text)
+        print()
+        if json_dir is not None:
+            payload = {
+                "id": result.exp_id,
+                "title": result.title,
+                "scale": args.scale,
+                "data": _jsonify(result.data),
+            }
+            (json_dir / f"{result.exp_id}.json").write_text(
+                json.dumps(payload, indent=2)
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Shared machinery for the per-figure/table experiment runners.
+
+Experiments come in two scales:
+
+* ``quick`` — small inputs for CI and the pytest-benchmark harness
+  (each simulation finishes in roughly a second);
+* ``full``  — the paper-scale inputs used to produce EXPERIMENTS.md
+  (larger-than-L2 working sets, which is where the remote-access
+  phenomena the paper reports fully develop).
+
+Runs are memoized per process: most experiments reuse the same
+(base, network-cache, switch-cache) simulations, so a full harness pass
+executes each distinct machine exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..apps import PAPER_APPS
+from ..stats.counters import MachineStats
+from ..system.config import SystemConfig
+from ..system.machine import Machine
+
+APP_ORDER = ("FWA", "GS", "GE", "MM", "SOR", "FFT")
+
+#: application input sizes per scale (the paper's Table-2 analogue)
+APP_SCALES: Dict[str, Dict[str, Dict[str, int]]] = {
+    "quick": {
+        "FWA": {"n": 24},
+        "GS": {"n_vectors": 16, "length": 24},
+        "GE": {"n": 24},
+        "MM": {"n": 24},
+        "SOR": {"n": 32, "iterations": 2},
+        "FFT": {"m": 12},
+    },
+    "full": {
+        "FWA": {"n": 48},
+        "GS": {"n_vectors": 32, "length": 48},
+        "GE": {"n": 64},
+        "MM": {"n": 48},
+        "SOR": {"n": 128, "iterations": 3},
+        "FFT": {"m": 12},
+    },
+}
+
+
+def make_app(name: str, scale: str):
+    """Instantiate one of the six paper kernels at the given scale."""
+    return PAPER_APPS[name](**APP_SCALES[scale][name])
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """Everything an experiment needs from one finished simulation."""
+
+    app: str
+    scale: str
+    config_label: str
+    exec_time: int
+    stats: MachineStats
+    switch_totals: Dict[str, int]
+    switch_hits_by_stage: Dict[int, int]
+    mean_tag_queue: float
+    mean_data_queue: float
+    ni_queue: float
+    coherence_violations: int
+
+
+_CACHE: Dict[Tuple, RunRecord] = {}
+
+
+def _config_key(config: SystemConfig) -> Tuple:
+    return (
+        config.num_nodes,
+        config.switch_cache_size,
+        config.switch_cache_assoc,
+        config.switch_cache_banks,
+        config.switch_cache_width_bits,
+        config.switch_cache_bypass_threshold,
+        config.switch_cache_deposit_threshold,
+        tuple(sorted(config.switch_cache_stages))
+        if config.switch_cache_stages is not None
+        else None,
+        config.netcache_size,
+        config.protocol,
+        config.num_nodes * config.procs_per_node,
+        config.switch_cache_replacement,
+        config.l2_size,
+    )
+
+
+def run(app_name: str, scale: str, config: SystemConfig) -> RunRecord:
+    """Run (or fetch the memoized run of) one app on one configuration."""
+    key = (app_name, scale, _config_key(config))
+    record = _CACHE.get(key)
+    if record is not None:
+        return record
+    machine = Machine(config)
+    stats = machine.run(make_app(app_name, scale))
+    tag_qs, data_qs = [], []
+    for switch in machine.fabric.switches.values():
+        engine = switch.cache_engine
+        if engine is None:
+            continue
+        tag_qs.append(engine.sram.tag_port.mean_queueing_delay())
+        for port in engine.sram.data_ports:
+            data_qs.append(port.mean_queueing_delay())
+    record = RunRecord(
+        app=app_name,
+        scale=scale,
+        config_label=config.label(),
+        exec_time=stats.exec_time,
+        stats=stats,
+        switch_totals=machine.switch_cache_stats(),
+        switch_hits_by_stage=dict(stats.switch_hits_by_stage),
+        mean_tag_queue=sum(tag_qs) / len(tag_qs) if tag_qs else 0.0,
+        mean_data_queue=sum(data_qs) / len(data_qs) if data_qs else 0.0,
+        ni_queue=machine.fabric.injection_queue_delay(),
+        coherence_violations=len(machine.check_coherence()),
+    )
+    _CACHE[key] = record
+    return record
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """A rendered experiment: id, title, report text, raw series."""
+
+    exp_id: str
+    title: str
+    text: str
+    data: Dict
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"== {self.exp_id}: {self.title} ==\n{self.text}"

@@ -1,0 +1,41 @@
+"""Registry mapping experiment ids to runners (DESIGN.md Sec. 4)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from .common import ExperimentResult
+from . import ablations, runners
+
+Runner = Callable[[str], ExperimentResult]
+
+EXPERIMENTS: Dict[str, Tuple[str, Runner]] = {
+    "T1": ("CAESAR access operations and delays", runners.exp_t1),
+    "T2": ("Simulation parameters and application inputs", runners.exp_t2),
+    "F3": ("Read sharing pattern", runners.exp_f3),
+    "F4": ("Ideal global cache hit rate", runners.exp_f4),
+    "F5": ("Base-system remote read latency breakdown", runners.exp_f5),
+    "E1": ("Read service distribution", runners.exp_e1),
+    "E2": ("Reduction in reads served at remote memory", runners.exp_e2),
+    "E3": ("Mean remote read latency: base vs NC vs SC", runners.exp_e3),
+    "E4": ("Read stall time normalized to base", runners.exp_e4),
+    "E5": ("Normalized execution time", runners.exp_e5),
+    "E6": ("Switch-cache size sensitivity", runners.exp_e6),
+    "E7": ("CAESAR vs CAESAR+ (banked)", runners.exp_e7),
+    "E8": ("Data-array output width", runners.exp_e8),
+    "E9": ("Switch-cache hits by MIN stage", runners.exp_e9),
+    # ablations beyond the paper's figures (DESIGN.md Sec. 4)
+    "A1": ("Ablation: caching-stage placement", ablations.exp_a1),
+    "A2": ("Ablation: robustness-policy thresholds", ablations.exp_a2),
+    "A3": ("Ablation: switch-cache associativity", ablations.exp_a3),
+    "A4": ("Ablation: system-size scaling", ablations.exp_a4),
+    "A5": ("Ablation: MSI vs MESI protocol", ablations.exp_a5),
+    "A6": ("Ablation: cluster organization (procs per node)", ablations.exp_a6),
+    "A7": ("Ablation: switch-cache replacement policy", ablations.exp_a7),
+    "A8": ("Validation: message-level vs flit-level network", ablations.exp_a8),
+}
+
+
+def run_experiment(exp_id: str, scale: str = "quick") -> ExperimentResult:
+    title, runner = EXPERIMENTS[exp_id]
+    return runner(scale)

@@ -1,0 +1,432 @@
+"""One runner per paper table/figure (see DESIGN.md experiment index).
+
+Each runner returns an :class:`ExperimentResult` whose ``text`` prints
+the same rows/series the paper reports and whose ``data`` carries the raw
+numbers for programmatic checks (the test suite asserts the paper's
+qualitative claims against these).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..stats.report import format_series, format_table, percent
+from ..system.config import KB, SystemConfig
+from ..system.presets import (
+    base_config,
+    caesar_plus_config,
+    netcache_config,
+    switch_cache_config,
+)
+from .common import APP_ORDER, APP_SCALES, ExperimentResult, RunRecord, run
+
+#: switch-cache sizes swept by the paper's evaluation (bytes per switch)
+SC_SIZES = (512, 1024, 2048, 4096)
+
+
+# ----------------------------------------------------------------------
+# T1 — CAESAR access operations and delays (static)
+# ----------------------------------------------------------------------
+def exp_t1(scale: str = "quick") -> ExperimentResult:
+    from ..core.switchcache import SwitchCacheGeometry
+
+    rows = []
+    for width in (64, 128, 256):
+        geo = SwitchCacheGeometry(size=2048, block_size=64, output_width_bits=width)
+        rows.append(
+            ("regular read hit", f"{width}-bit", "tag + data",
+             geo.tag_cycles + geo.data_cycles)
+        )
+        rows.append(
+            ("regular read miss", f"{width}-bit", "tag", geo.tag_cycles)
+        )
+        rows.append(
+            ("reply deposit", f"{width}-bit", "tag + data",
+             geo.tag_cycles + geo.data_cycles)
+        )
+    geo = SwitchCacheGeometry(size=2048, block_size=64)
+    rows.append(("snoop probe (miss)", "-", "snoop tag port", geo.tag_cycles))
+    rows.append(("snoop purge (hit)", "-", "snoop tag port", 2 * geo.tag_cycles))
+    text = format_table(
+        ("operation", "data width", "resources", "cycles"), rows,
+        title="CAESAR switch-cache access operations and delays",
+    )
+    return ExperimentResult("T1", "CAESAR access delays", text, {"rows": rows})
+
+
+# ----------------------------------------------------------------------
+# T2 — simulation parameters and application inputs (static)
+# ----------------------------------------------------------------------
+def exp_t2(scale: str = "full") -> ExperimentResult:
+    cfg = SystemConfig()
+    param_rows = [
+        ("processors", cfg.num_nodes),
+        ("L1 cache", f"{cfg.l1_size // KB}KB, {cfg.l1_assoc}-way, {cfg.l1_hit_cycles} cyc"),
+        ("L2 cache", f"{cfg.l2_size // KB}KB, {cfg.l2_assoc}-way, {cfg.l2_hit_cycles} cyc"),
+        ("cache block", f"{cfg.block_size}B"),
+        ("write buffer", f"{cfg.write_buffer_entries} entries"),
+        ("memory", f"{cfg.memory_access_cycles} cyc raw, "
+                   f"{cfg.memory_access_cycles + 2 * cfg.memory_bus_cycles} cyc end-to-end"),
+        ("network", "BMIN, 4x4 switches, wormhole, 2 VCs"),
+        ("switch delay", f"{cfg.switch_delay} cyc"),
+        ("link", f"16-bit, {cfg.cycles_per_flit} cyc/flit (8B flits)"),
+        ("coherence", "MSI + full-map directory, release consistency"),
+    ]
+    app_rows = [
+        (name, ", ".join(f"{k}={v}" for k, v in APP_SCALES[scale][name].items()))
+        for name in APP_ORDER
+    ]
+    text = (
+        format_table(("parameter", "value"), param_rows,
+                     title="System parameters (paper Table 2)")
+        + "\n\n"
+        + format_table(("application", "input"), app_rows,
+                       title=f"Application inputs (scale={scale})")
+    )
+    return ExperimentResult(
+        "T2", "Simulation parameters", text,
+        {"params": param_rows, "apps": app_rows},
+    )
+
+
+# ----------------------------------------------------------------------
+# F3 — read sharing pattern
+# ----------------------------------------------------------------------
+def exp_f3(scale: str = "quick") -> ExperimentResult:
+    data: Dict[str, Dict[int, float]] = {}
+    lines: List[str] = []
+    buckets = (1, 2, 4, 8, 16)
+    for name in APP_ORDER:
+        record = run(name, scale, base_config())
+        histogram = record.stats.sharing_histogram(16)
+        total = sum(histogram.values()) or 1
+        # bucketize: 1, 2, 3-4, 5-8, 9-16 readers
+        grouped = {1: 0, 2: 0, 4: 0, 8: 0, 16: 0}
+        for degree, count in histogram.items():
+            for b in buckets:
+                if degree <= b:
+                    grouped[b] += count
+                    break
+        data[name] = {b: grouped[b] / total for b in buckets}
+        lines.append(
+            format_series(
+                f"{name} (mean degree {record.stats.mean_sharing_degree():.2f})",
+                [f"<= {b}" for b in buckets],
+                [data[name][b] for b in buckets],
+            )
+        )
+    text = "Fraction of L2-miss reads to blocks read by k processors\n" + "\n".join(lines)
+    return ExperimentResult("F3", "Read sharing pattern", text, data)
+
+
+# ----------------------------------------------------------------------
+# F4 — ideal global cache (Sec. 2.2 motivation)
+# ----------------------------------------------------------------------
+def exp_f4(scale: str = "quick") -> ExperimentResult:
+    rows = []
+    data = {}
+    for name in APP_ORDER:
+        record = run(name, scale, base_config())
+        rate = record.stats.ideal_global_hit_rate()
+        data[name] = rate
+        rows.append((name, record.stats.shared_reads(), percent(rate)))
+    text = format_table(
+        ("app", "L2-miss reads", "ideal global-cache hit rate"), rows,
+        title="Upper bound: reads an infinite shared network cache could serve",
+    )
+    return ExperimentResult("F4", "Ideal global cache", text, data)
+
+
+# ----------------------------------------------------------------------
+# F5 — base-system remote read latency breakdown (Sec. 2.1)
+# ----------------------------------------------------------------------
+def exp_f5(scale: str = "quick") -> ExperimentResult:
+    rows = []
+    data = {}
+    for name in APP_ORDER:
+        record = run(name, scale, base_config())
+        means = record.stats.breakdown_means()
+        data[name] = means
+        rows.append(
+            (
+                name,
+                f"{record.stats.mean_latency('remote_mem'):.0f}",
+                f"{means['req_ni_q']:.1f}",
+                f"{means['req_transit']:.1f}",
+                f"{means['mem_queue']:.1f}",
+                f"{means['mem_service']:.1f}",
+                f"{means['reply_ni_q']:.1f}",
+                f"{means['reply_transit']:.1f}",
+            )
+        )
+    text = format_table(
+        ("app", "remote read lat", "req NI q", "req transit", "mem queue",
+         "mem service", "reply NI q", "reply transit"),
+        rows,
+        title="Remote read latency breakdown, base system (cycles)",
+    )
+    return ExperimentResult("F5", "Latency breakdown", text, data)
+
+
+# ----------------------------------------------------------------------
+# E1 — read service distribution: base vs switch cache
+# ----------------------------------------------------------------------
+def exp_e1(scale: str = "quick") -> ExperimentResult:
+    rows = []
+    data = {}
+    for name in APP_ORDER:
+        for config in (base_config(), switch_cache_config(size=2 * KB)):
+            record = run(name, scale, config)
+            dist = record.stats.service_distribution()
+            data[(name, record.config_label)] = dist
+            rows.append(
+                (
+                    name,
+                    record.config_label,
+                    percent(dist["l1"] + dist["wb"]),
+                    percent(dist["l2"]),
+                    percent(dist["local_mem"]),
+                    percent(dist["switch"]),
+                    percent(dist["remote_mem"] + dist["owner"]),
+                )
+            )
+    text = format_table(
+        ("app", "config", "L1/WB", "L2", "local mem", "switch cache", "remote mem"),
+        rows,
+        title="Where reads are served",
+    )
+    return ExperimentResult("E1", "Read service distribution", text, data)
+
+
+# ----------------------------------------------------------------------
+# E2 — reduction in reads served at remote memory (claim C1, <= 45 %)
+# ----------------------------------------------------------------------
+def exp_e2(scale: str = "quick") -> ExperimentResult:
+    rows = []
+    data: Dict[str, Dict[int, float]] = {}
+    for name in APP_ORDER:
+        base = run(name, scale, base_config())
+        base_remote = base.stats.reads_at_remote_memory()
+        reductions = {}
+        for size in SC_SIZES:
+            record = run(name, scale, switch_cache_config(size=size))
+            remote = record.stats.reads_at_remote_memory()
+            reductions[size] = (1 - remote / base_remote) if base_remote else 0.0
+        data[name] = reductions
+        rows.append(
+            (name, base_remote)
+            + tuple(percent(reductions[size]) for size in SC_SIZES)
+        )
+    text = format_table(
+        ("app", "base remote reads") + tuple(f"SC {s}B" for s in SC_SIZES),
+        rows,
+        title="Reduction in reads served at remote memory",
+    )
+    return ExperimentResult("E2", "Remote read reduction", text, data)
+
+
+# ----------------------------------------------------------------------
+# E3 — average remote read latency: base vs NC vs SC
+# ----------------------------------------------------------------------
+def exp_e3(scale: str = "quick") -> ExperimentResult:
+    configs = (
+        base_config(),
+        netcache_config(),
+        switch_cache_config(size=2 * KB),
+    )
+    rows = []
+    data = {}
+    for name in APP_ORDER:
+        row = [name]
+        for config in configs:
+            record = run(name, scale, config)
+            latency = record.stats.mean_remote_read_latency()
+            data[(name, record.config_label)] = latency
+            row.append(f"{latency:.0f}")
+        rows.append(tuple(row))
+    text = format_table(
+        ("app", "base", "network cache", "switch cache (2KB)"),
+        rows,
+        title="Mean remote read latency (cycles)",
+    )
+    return ExperimentResult("E3", "Remote read latency", text, data)
+
+
+# ----------------------------------------------------------------------
+# E4 — read stall time normalized to base (claim C3, <= 35 % reduction)
+# ----------------------------------------------------------------------
+def exp_e4(scale: str = "quick") -> ExperimentResult:
+    configs = (
+        base_config(),
+        netcache_config(),
+        switch_cache_config(size=2 * KB),
+    )
+    rows = []
+    data = {}
+    for name in APP_ORDER:
+        base_stall = None
+        row = [name]
+        for config in configs:
+            record = run(name, scale, config)
+            stall = sum(
+                node_stall
+                for node_stall in [record.stats.total_read_stall()]
+            )
+            if base_stall is None:
+                base_stall = stall or 1
+            normalized = stall / base_stall
+            data[(name, record.config_label)] = normalized
+            row.append(f"{normalized:.3f}")
+        rows.append(tuple(row))
+    text = format_table(
+        ("app", "base", "network cache", "switch cache (2KB)"),
+        rows,
+        title="Read stall time (normalized to base)",
+    )
+    return ExperimentResult("E4", "Read stall time", text, data)
+
+
+# ----------------------------------------------------------------------
+# E5 — normalized execution time (claim C2, <= 20 % improvement)
+# ----------------------------------------------------------------------
+def exp_e5(scale: str = "quick") -> ExperimentResult:
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for name in APP_ORDER:
+        base = run(name, scale, base_config())
+        entries: Dict[str, float] = {"base": 1.0}
+        nc = run(name, scale, netcache_config())
+        entries["NC"] = nc.exec_time / base.exec_time
+        for size in SC_SIZES:
+            record = run(name, scale, switch_cache_config(size=size))
+            entries[f"SC-{size}"] = record.exec_time / base.exec_time
+        data[name] = entries
+        rows.append(
+            (name, base.exec_time, f"{entries['NC']:.3f}")
+            + tuple(f"{entries[f'SC-{s}']:.3f}" for s in SC_SIZES)
+        )
+    text = format_table(
+        ("app", "base cycles", "NC") + tuple(f"SC {s}B" for s in SC_SIZES),
+        rows,
+        title="Execution time normalized to base",
+    )
+    return ExperimentResult("E5", "Normalized execution time", text, data)
+
+
+# ----------------------------------------------------------------------
+# E6 — switch-cache size sensitivity (claim C4: 512 B already helps)
+# ----------------------------------------------------------------------
+def exp_e6(scale: str = "quick") -> ExperimentResult:
+    sizes = (512, 1024, 2048, 4096, 8192)
+    lines = []
+    data: Dict[str, Dict[int, float]] = {}
+    for name in APP_ORDER:
+        base = run(name, scale, base_config())
+        improvements = {}
+        for size in sizes:
+            record = run(name, scale, switch_cache_config(size=size))
+            improvements[size] = 1 - record.exec_time / base.exec_time
+        data[name] = improvements
+        lines.append(
+            format_series(name, list(sizes), [improvements[s] for s in sizes])
+        )
+    text = (
+        "Execution-time improvement vs switch-cache size (bytes/switch)\n"
+        + "\n".join(lines)
+    )
+    return ExperimentResult("E6", "Cache size sensitivity", text, data)
+
+
+# ----------------------------------------------------------------------
+# E7 — CAESAR vs CAESAR+ (banked data arrays)
+# ----------------------------------------------------------------------
+def exp_e7(scale: str = "quick") -> ExperimentResult:
+    rows = []
+    data = {}
+    for name in APP_ORDER:
+        for config in (
+            switch_cache_config(size=2 * KB, banks=1),
+            caesar_plus_config(size=2 * KB),
+        ):
+            record = run(name, scale, config)
+            label = "CAESAR+" if config.switch_cache_banks > 1 else "CAESAR"
+            data[(name, label)] = {
+                "exec": record.exec_time,
+                "data_queue": record.mean_data_queue,
+                "deposit_skips": record.switch_totals["deposit_skips"],
+                "bypasses": record.switch_totals["bypasses"],
+            }
+            rows.append(
+                (
+                    name,
+                    label,
+                    record.exec_time,
+                    f"{record.mean_data_queue:.2f}",
+                    record.switch_totals["deposit_skips"],
+                    record.switch_totals["bypasses"],
+                )
+            )
+    text = format_table(
+        ("app", "design", "exec cycles", "data-port queue", "deposit skips",
+         "bypasses"),
+        rows,
+        title="CAESAR (1 bank) vs CAESAR+ (2 interleaved banks)",
+    )
+    return ExperimentResult("E7", "CAESAR vs CAESAR+", text, data)
+
+
+# ----------------------------------------------------------------------
+# E8 — data-array output width
+# ----------------------------------------------------------------------
+def exp_e8(scale: str = "quick") -> ExperimentResult:
+    widths = (64, 128, 256)
+    rows = []
+    data = {}
+    for name in APP_ORDER:
+        for width in widths:
+            record = run(
+                name, scale, switch_cache_config(size=2 * KB, width_bits=width)
+            )
+            data[(name, width)] = {
+                "exec": record.exec_time,
+                "data_queue": record.mean_data_queue,
+                "switch_reads": record.stats.read_counts["switch"],
+            }
+            rows.append(
+                (
+                    name,
+                    f"{width}b",
+                    record.exec_time,
+                    f"{record.mean_data_queue:.2f}",
+                    record.stats.read_counts["switch"],
+                )
+            )
+    text = format_table(
+        ("app", "width", "exec cycles", "data-port queue", "switch-served reads"),
+        rows,
+        title="Switch-cache data-array output width",
+    )
+    return ExperimentResult("E8", "Output width", text, data)
+
+
+# ----------------------------------------------------------------------
+# E9 — switch-cache hits by MIN stage
+# ----------------------------------------------------------------------
+def exp_e9(scale: str = "quick") -> ExperimentResult:
+    lines = []
+    data = {}
+    for name in APP_ORDER:
+        record = run(name, scale, switch_cache_config(size=2 * KB))
+        by_stage = record.switch_hits_by_stage
+        total = sum(by_stage.values()) or 1
+        shares = {s: by_stage.get(s, 0) / total for s in range(4)}
+        data[name] = shares
+        lines.append(
+            format_series(
+                f"{name} ({sum(by_stage.values())} hits)",
+                [f"stage {s}" for s in range(4)],
+                [shares[s] for s in range(4)],
+            )
+        )
+    text = "Share of switch-cache hits by MIN stage (0 = nearest processors)\n" + "\n".join(lines)
+    return ExperimentResult("E9", "Hits by stage", text, data)

@@ -1,0 +1,7 @@
+"""Memory modules, network interfaces, and the network-cache comparator."""
+
+from .dram import MemoryModule
+from .netcache import NetworkCache
+from .nic import NetworkInterface
+
+__all__ = ["MemoryModule", "NetworkCache", "NetworkInterface"]

@@ -1,0 +1,21 @@
+"""Wormhole-routed bidirectional MIN substrate."""
+
+from .fabric import Fabric, FabricStats
+from .flitref import FlitNetwork
+from .link import Link
+from .message import FLIT_BYTES, Message, MsgKind, flits_for
+from .switch import Switch
+from .topology import BminTopology
+
+__all__ = [
+    "Fabric",
+    "FabricStats",
+    "FlitNetwork",
+    "Link",
+    "FLIT_BYTES",
+    "Message",
+    "MsgKind",
+    "flits_for",
+    "Switch",
+    "BminTopology",
+]

@@ -1,0 +1,254 @@
+"""The wormhole BMIN fabric: injection, per-hop forwarding, delivery.
+
+Timing model (message-granularity wormhole, Section 5 of DESIGN.md):
+
+* injection — the worm queues for its node's injection link (NI send
+  module); the header enters the stage-0 switch one flit time after the
+  grant.
+* per hop — the header waits ``switch_delay`` cycles (arbitration +
+  crossbar traversal), then queues FIFO for the output link; the link is
+  occupied ``flits * cycles_per_flit`` cycles (serialization); the header
+  reaches the next switch one flit time after the grant.
+* delivery — the worm is handed to the destination NI when its tail has
+  fully crossed the ejection link.
+
+Switch-cache integration: as a worm's header arrives at a switch the
+fabric invokes the embedded CAESAR engine —
+
+* ``INV`` worms snoop (purge matching blocks),
+* ``DATA_S`` worms deposit their block,
+* ``READ`` worms may be intercepted: the engine supplies the data, the
+  fabric fabricates a ``DATA_S`` reply that retraces the request's path,
+  and the request itself shrinks to a 1-flit ``DIR_UPDATE`` that continues
+  to the home node so the full-map directory stays exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import NetworkError
+from ..sim.engine import Simulator
+from .link import Link
+from .message import Message, MsgKind
+from .switch import Switch
+from .topology import BminTopology, SwitchId
+
+DeliverFn = Callable[[Message], None]
+
+
+class FabricStats:
+    """Aggregate network statistics."""
+
+    def __init__(self) -> None:
+        self.msgs_injected = 0
+        self.msgs_delivered = 0
+        self.flits_injected = 0
+        self.switch_hits = 0
+        self.switch_replies = 0
+        self.dir_updates = 0
+        self.hits_by_stage: Dict[int, int] = {}
+
+    def record_switch_hit(self, stage: int) -> None:
+        self.switch_hits += 1
+        self.switch_replies += 1
+        self.dir_updates += 1
+        self.hits_by_stage[stage] = self.hits_by_stage.get(stage, 0) + 1
+
+
+class Fabric:
+    """A BMIN of :class:`Switch` elements plus node attachment points."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: BminTopology,
+        switch_delay: int = 4,
+        cycles_per_flit: int = 4,
+    ) -> None:
+        self.sim = sim
+        self.topo = topology
+        self.switch_delay = switch_delay
+        self.cycles_per_flit = cycles_per_flit
+        self.stats = FabricStats()
+        self.switches: Dict[SwitchId, Switch] = {}
+        self._inject_links: Dict[int, Link] = {}
+        self._handlers: Dict[int, DeliverFn] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for sid in self.topo.switches():
+            self.switches[sid] = Switch(
+                self.sim, sid, self.switch_delay, self.cycles_per_flit
+            )
+        # inter-switch links (both directions)
+        for sid, switch in self.switches.items():
+            for up in self.topo.up_neighbors(sid):
+                switch.add_output(up)
+                self.switches[up].add_output(sid)
+        # node attachment: ejection link lives on the stage-0 switch,
+        # injection link is owned by the fabric per node
+        for node in range(self.topo.num_nodes):
+            sw = self.switches[self.topo.node_switch(node)]
+            sw.add_output(node)
+            self._inject_links[node] = Link(
+                self.sim, f"ni{node}->sw", cycles_per_flit=self.cycles_per_flit
+            )
+
+    def attach_node(self, node: int, handler: DeliverFn) -> None:
+        """Register the delivery callback for a node's NI receive module."""
+        self._handlers[node] = handler
+
+    def install_cache_engines(self, factory: Callable[[SwitchId], object]) -> None:
+        """Embed a cache engine in every switch (``factory`` may return None)."""
+        for sid, switch in self.switches.items():
+            switch.cache_engine = factory(sid)
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+    def inject(self, msg: Message) -> None:
+        """Send ``msg`` from its source node's NI into the network."""
+        if msg.src == msg.dst:
+            raise NetworkError("local messages must not enter the fabric")
+        if msg.created_at < 0:
+            msg.created_at = self.sim.now
+        msg.route = self.topo.path(msg.src, msg.dst)
+        link = self._inject_links[msg.src]
+        grant, _tail = link.reserve(msg.flits, earliest=self.sim.now)
+        msg.injected_at = grant
+        self.stats.msgs_injected += 1
+        self.stats.flits_injected += msg.flits
+        header_at_switch = grant + self.cycles_per_flit
+        self.sim.at(header_at_switch, lambda: self._arrive(msg, 0))
+
+    # ------------------------------------------------------------------
+    # per-hop processing
+    # ------------------------------------------------------------------
+    def _arrive(self, msg: Message, hop: int) -> None:
+        sid = msg.route[hop]
+        switch = self.switches[sid]
+        msg.trace.append(sid)
+        engine = switch.cache_engine
+        if engine is not None:
+            kind = msg.kind
+            if kind.snoops_switch_caches:
+                engine.snoop(msg)
+            elif kind.switch_cacheable:
+                engine.try_deposit(msg)
+            elif kind.interceptable:
+                served = engine.try_intercept(msg)
+                if served is not None:
+                    data, ready_at = served
+                    self._serve_from_switch(msg, switch, hop, data, ready_at)
+                    return
+        self._forward(msg, hop, header_at=self.sim.now)
+
+    def _forward(self, msg: Message, hop: int, header_at: int) -> None:
+        switch = self.switches[msg.route[hop]]
+        last_hop = hop == len(msg.route) - 1
+        neighbor = msg.dst if last_hop else msg.route[hop + 1]
+        _grant, header_next, tail_done = switch.forward(msg.flits, neighbor, header_at)
+        if last_hop:
+            self.sim.at(tail_done, lambda: self._deliver(msg))
+        else:
+            self.sim.at(header_next, lambda: self._arrive(msg, hop + 1))
+
+    def _deliver(self, msg: Message) -> None:
+        msg.delivered_at = self.sim.now
+        self.stats.msgs_delivered += 1
+        handler = self._handlers.get(msg.dst)
+        if handler is None:
+            raise NetworkError(f"no NI handler attached for node {msg.dst}")
+        handler(msg)
+
+    # ------------------------------------------------------------------
+    # switch-cache service
+    # ------------------------------------------------------------------
+    def _serve_from_switch(
+        self, msg: Message, switch: Switch, hop: int, data: int, ready_at: int
+    ) -> None:
+        """A READ hit in ``switch``'s cache: reply + directory update."""
+        stage = switch.stage
+        self.stats.record_switch_hit(stage)
+        reply = Message(
+            kind=MsgKind.DATA_S,
+            src=msg.dst,  # protocol-wise the reply stands in for the home's
+            dst=msg.src,
+            addr=msg.addr,
+            flits=1 + _data_flits(msg),
+            data=data,
+            payload={
+                "served_by": "switch",
+                "served_stage": stage,
+                "served_switch": switch.id,
+                "proc": msg.payload.get("proc"),
+            },
+            transaction=msg.transaction,
+        )
+        reply.created_at = self.sim.now
+        reply.injected_at = ready_at
+        # retrace the request's traversed prefix back to the requester
+        reply.route = list(reversed(msg.trace))
+        reply.trace.append(switch.id)
+        self._forward(reply, 0, header_at=ready_at)
+        # the request continues to the home as a 1-flit directory update
+        msg.kind = MsgKind.DIR_UPDATE
+        msg.flits = 1
+        msg.payload["requester"] = msg.src
+        self._forward(msg, hop, header_at=self.sim.now)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def switch_cache_blocks(self) -> List[Tuple[SwitchId, int, int]]:
+        """All (switch, block_addr, version) resident in switch caches."""
+        found = []
+        for sid, switch in self.switches.items():
+            engine = switch.cache_engine
+            if engine is None:
+                continue
+            for addr, line in engine.array.resident_blocks():
+                found.append((sid, addr, line.data))
+        return found
+
+    def utilization_by_stage(self) -> Dict[int, float]:
+        """Mean output-link utilization per MIN stage (0..stages-1)."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for sid, switch in self.switches.items():
+            stage = sid[0]
+            for link in switch.outputs().values():
+                sums[stage] = sums.get(stage, 0.0) + link.utilization()
+                counts[stage] = counts.get(stage, 0) + 1
+        return {
+            stage: sums[stage] / counts[stage]
+            for stage in sorted(sums)
+        }
+
+    def hottest_links(self, top: int = 5):
+        """The ``top`` busiest links as (switch, toward, msgs, mean queue)."""
+        rows = []
+        for sid, switch in self.switches.items():
+            for neighbor, link in switch.outputs().items():
+                if link.msgs:
+                    rows.append(
+                        (sid, neighbor, link.msgs, link.mean_queueing_delay())
+                    )
+        rows.sort(key=lambda r: (-r[3], -r[2]))
+        return rows[:top]
+
+    def injection_queue_delay(self) -> float:
+        """Mean NI injection queueing delay across all nodes (cycles)."""
+        delays = [l.mean_queueing_delay() for l in self._inject_links.values()]
+        return sum(delays) / len(delays) if delays else 0.0
+
+
+def _data_flits(msg: Message) -> int:
+    """Payload flits for the block size implied by the request's transaction."""
+    txn = msg.transaction
+    block_size = getattr(txn, "block_size", 64) if txn is not None else 64
+    return block_size // 8

@@ -1,0 +1,53 @@
+"""Physical link model.
+
+A link is a 16-bit-wide wire pair clocked at the switch frequency; one
+8-byte flit takes ``cycles_per_flit`` (= 64/16 = 4) cycles to cross
+(Cavallino [6]).  Each *direction* of a bidirectional link is a separate
+:class:`Link`, because the BMIN's forward (requests) and backward (replies)
+traffic never contend with each other for wires.
+
+A worm of L flits occupies the link for ``L * cycles_per_flit`` cycles;
+grants are in request order, which reproduces the FIFO/age arbitration of
+the paper's switches at message granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..sim.engine import Simulator
+from ..sim.resource import Timeline
+
+
+class Link:
+    """One directed channel between two network elements."""
+
+    __slots__ = ("timeline", "name", "cycles_per_flit", "msgs", "flits")
+
+    def __init__(self, sim: Simulator, name: str, cycles_per_flit: int = 4) -> None:
+        self.timeline = Timeline(sim, name)
+        self.name = name
+        self.cycles_per_flit = cycles_per_flit
+        self.msgs = 0
+        self.flits = 0
+
+    def reserve(self, flits: int, earliest: int) -> Tuple[int, int]:
+        """Reserve the link for a worm of ``flits`` flits.
+
+        Returns ``(grant, tail_done)``: the cycle the header starts crossing
+        and the cycle the tail has fully crossed.
+        """
+        duration = flits * self.cycles_per_flit
+        grant = self.timeline.reserve(duration, earliest=earliest)
+        self.msgs += 1
+        self.flits += flits
+        return grant, grant + duration
+
+    def utilization(self) -> float:
+        return self.timeline.utilization()
+
+    def mean_queueing_delay(self) -> float:
+        return self.timeline.mean_queueing_delay()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} msgs={self.msgs}>"

@@ -1,0 +1,160 @@
+"""Wire-level message model for the wormhole BMIN.
+
+Messages are wormhole *worms*: a header flit carrying routing and
+transaction information followed by payload flits.  Flits are 8 bytes and
+links are 16 bits wide, so one flit takes 4 link cycles (Spider [10] /
+Cavallino [6] parameters).  The header format follows the paper's Figure 9:
+destination, source, message type, and block address travel in the header,
+which is all the CAESAR cache engine needs to snoop or intercept a worm as
+it enters a switch.
+
+The simulator moves whole messages between components but preserves
+flit-level *timing*: per-hop serialization is ``flits * cycles_per_flit``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class MsgKind(enum.Enum):
+    """Transaction/packet types carried in the header's type field."""
+
+    # processor -> home requests (forward direction)
+    READ = "read"              # GETS: read a shareable copy
+    READX = "readx"            # GETX: read with ownership (write miss)
+    UPGRADE = "upgrade"        # S -> M ownership request (no data needed)
+    # home -> processor replies (backward direction)
+    DATA_S = "data_s"          # data reply, shared/clean (switch-cacheable)
+    DATA_X = "data_x"          # data reply, exclusive (never switch-cached)
+    DATA_E = "data_e"          # MESI: clean-exclusive reply (never switch-cached)
+    UPGR_ACK = "upgr_ack"      # upgrade acknowledgment
+    # coherence actions
+    INV = "inv"                # invalidation (snoops switch caches en route)
+    INV_ACK = "inv_ack"        # sharer -> home invalidation ack
+    RECALL = "recall"          # home -> owner: downgrade M->S and return data
+    RECALL_X = "recall_x"      # home -> owner: invalidate and return data
+    RECALL_REPLY = "recall_reply"  # owner -> home: recalled data
+    WRITEBACK = "writeback"    # owner -> home: evicted dirty block
+    WB_ACK = "wb_ack"          # home -> owner
+    # the switch-cache bookkeeping message: a READ served by a switch cache
+    # continues to the home node as this 1-flit directory update
+    DIR_UPDATE = "dir_update"
+
+    @property
+    def carries_data(self) -> bool:
+        return self in _DATA_KINDS
+
+    @property
+    def switch_cacheable(self) -> bool:
+        """Only clean shared data is deposited into switch caches."""
+        return self is MsgKind.DATA_S
+
+    @property
+    def interceptable(self) -> bool:
+        """Requests a switch cache may serve directly."""
+        return self is MsgKind.READ
+
+    @property
+    def snoops_switch_caches(self) -> bool:
+        """Messages that purge matching switch-cache blocks as they pass.
+
+        Invalidations cover all sharer paths.  Ownership transfers
+        (RECALL_X en route to an owner) and writebacks do not create new
+        stale copies but RECALL (M->S downgrade) does not purge.  The
+        conservative set here matches the paper: invalidation traffic
+        snoops; everything else passes untouched.
+        """
+        return self is MsgKind.INV
+
+
+_DATA_KINDS = frozenset(
+    {
+        MsgKind.DATA_S,
+        MsgKind.DATA_X,
+        MsgKind.DATA_E,
+        MsgKind.RECALL_REPLY,
+        MsgKind.WRITEBACK,
+    }
+)
+
+_msg_ids = itertools.count()
+
+#: 8-byte flits as in Spider [10] and Cavallino [6].
+FLIT_BYTES = 8
+
+
+def flits_for(kind: MsgKind, block_size: int) -> int:
+    """Worm length in flits: 1 header flit (+ data flits for data replies)."""
+    if kind.carries_data:
+        return 1 + block_size // FLIT_BYTES
+    return 1
+
+
+class Message:
+    """One worm in flight.
+
+    ``trace`` accumulates the (stage, row) of every switch the header has
+    traversed, which gives the switch-served replies their retrace route
+    and the statistics their per-stage attribution.
+    """
+
+    __slots__ = (
+        "id",
+        "kind",
+        "src",
+        "dst",
+        "addr",
+        "flits",
+        "data",
+        "payload",
+        "created_at",
+        "injected_at",
+        "delivered_at",
+        "trace",
+        "route",
+        "transaction",
+    )
+
+    def __init__(
+        self,
+        kind: MsgKind,
+        src: int,
+        dst: int,
+        addr: int,
+        flits: int,
+        data: Optional[int] = None,
+        payload: Optional[Dict[str, Any]] = None,
+        transaction: Optional[object] = None,
+    ) -> None:
+        self.id = next(_msg_ids)
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.addr = addr
+        self.flits = flits
+        self.data = data
+        self.payload = payload if payload is not None else {}
+        self.created_at: int = -1
+        self.injected_at: int = -1
+        self.delivered_at: int = -1
+        self.trace: List[Tuple[int, int]] = []
+        self.route: Optional[List[Tuple[int, int]]] = None
+        self.transaction = transaction
+
+    def header_fields(self) -> Dict[str, int]:
+        """The fields encoded in the 8-byte header flit (paper Fig. 9)."""
+        return {
+            "dst": self.dst,
+            "src": self.src,
+            "type": list(MsgKind).index(self.kind),
+            "addr": self.addr,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Msg#{self.id} {self.kind.value} {self.src}->{self.dst} "
+            f"addr={self.addr:#x} flits={self.flits}>"
+        )

@@ -1,0 +1,96 @@
+"""Crossbar switch model (paper Figure 10).
+
+The base switch is a 4x4 bidirectional crossbar: two left-side links
+(toward the nodes) and two right-side links (toward higher stages), each
+bidirectional.  Internally it arbitrates among 8 virtual-channel candidates
+with the Spider age technique [10]; at message granularity this is FIFO
+grant order on each output link, which :class:`~repro.sim.resource.Timeline`
+provides.  Crossing the switch — arbitration plus traversal to the link
+transmitter — costs ``switch_delay`` cycles (4 in the paper).
+
+A switch optionally embeds a cache engine (CAESAR, see
+:mod:`repro.core.caesar`); the fabric invokes the engine's hooks as worms
+arrive, so this module stays a pure crossbar.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, TYPE_CHECKING
+
+from ..errors import NetworkError
+from ..sim.engine import Simulator
+from .link import Link
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..core.caesar import CaesarEngine
+
+
+class Switch:
+    """One BMIN switching element with per-output-link grant timelines."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch_id,
+        switch_delay: int = 4,
+        cycles_per_flit: int = 4,
+    ) -> None:
+        self.sim = sim
+        self.id = switch_id
+        self.stage = switch_id[0]
+        self.switch_delay = switch_delay
+        self.cycles_per_flit = cycles_per_flit
+        # outgoing links keyed by neighbor: a SwitchId tuple or an int node id
+        self._out: Dict[Hashable, Link] = {}
+        self.cache_engine: Optional["CaesarEngine"] = None
+        # statistics
+        self.msgs_routed = 0
+        self.flits_routed = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def add_output(self, neighbor: Hashable) -> Link:
+        """Create the outgoing link toward ``neighbor`` (switch id or node)."""
+        if neighbor in self._out:
+            raise NetworkError(f"duplicate output {self.id} -> {neighbor}")
+        link = Link(
+            self.sim,
+            name=f"sw{self.id}->{neighbor}",
+            cycles_per_flit=self.cycles_per_flit,
+        )
+        self._out[neighbor] = link
+        return link
+
+    def output_to(self, neighbor: Hashable) -> Link:
+        link = self._out.get(neighbor)
+        if link is None:
+            raise NetworkError(f"switch {self.id} has no output to {neighbor}")
+        return link
+
+    def has_output(self, neighbor: Hashable) -> bool:
+        return neighbor in self._out
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def forward(self, flits: int, neighbor: Hashable, header_at: int):
+        """Arbitrate and transmit a worm toward ``neighbor``.
+
+        ``header_at`` is when the worm's header is available at this switch.
+        Returns ``(grant, header_next, tail_done)``: grant time on the output
+        link, header arrival time at the neighbor, and the time the tail has
+        fully crossed the link.
+        """
+        link = self.output_to(neighbor)
+        grant, tail_done = link.reserve(flits, earliest=header_at + self.switch_delay)
+        self.msgs_routed += 1
+        self.flits_routed += flits
+        header_next = grant + self.cycles_per_flit
+        return grant, header_next, tail_done
+
+    def outputs(self) -> Dict[Hashable, Link]:
+        return dict(self._out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Switch {self.id} outs={list(self._out)}>"

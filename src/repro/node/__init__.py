@@ -1,0 +1,7 @@
+"""Processor-side node assembly."""
+
+from .node import Node
+from .processor import Processor
+from .sync import BarrierManager, LockManager
+
+__all__ = ["Node", "Processor", "BarrierManager", "LockManager"]

@@ -1,0 +1,258 @@
+"""In-order processor front-end with fast-forward execution.
+
+The processor executes an application's operation stream:
+
+``('r', addr)`` / ``('w', addr)`` — shared-memory loads and stores;
+``('work', n)`` — n cycles of local computation (models the non-memory
+instructions RSIM would execute);
+``('barrier', k)`` / ``('lock', k)`` / ``('unlock', k)`` — synchronization.
+
+**Fast-forward on hits.**  Cache hits and local work advance a *local
+clock* without touching the event queue; the processor re-enters the
+queue only on a miss, a synchronization point, a full write buffer, or
+after running ``quantum`` cycles ahead of global time (which bounds the
+causality skew of applying remote invalidations at event time — see
+DESIGN.md).  This is what makes an execution-driven multiprocessor
+simulation tractable in Python.
+
+**Release consistency.**  Stores retire into the write buffer in one
+cycle and the processor continues; loads that match a pending buffered
+store are forwarded.  Barrier arrival and lock release first wait for
+the write buffer to drain (the release fence), then perform a real
+read-modify-write coherence transaction on the synchronization variable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from ..coherence.messages import Transaction
+from ..errors import SimulationError
+from ..sim.engine import Simulator
+
+Op = Tuple
+
+
+class Processor:
+    """One in-order processor executing an operation stream."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node,  # Node (late-bound to avoid an import cycle)
+        l1_cycles: int = 1,
+        l2_cycles: int = 10,
+        store_cycles: int = 1,
+        quantum: int = 500,
+        trace_values: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.l1_cycles = l1_cycles
+        self.l2_cycles = l2_cycles
+        self.store_cycles = store_cycles
+        self.quantum = quantum
+        self.trace_values = trace_values
+        self.time = 0  # local clock (>= sim.now except never behind on entry)
+        self.done = False
+        self.finish_time: Optional[int] = None
+        self._ops: Optional[Iterator[Op]] = None
+        self._pending_op: Optional[Op] = None
+        self._stall_started: Optional[int] = None
+        self.value_trace: List[Tuple[str, int, int, int]] = []
+        # statistics
+        self.ops_executed = 0
+        self.read_stall_cycles = 0
+        self.sync_stall_cycles = 0
+        self.wb_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def start(self, ops: Iterable[Op]) -> None:
+        self._ops = iter(ops)
+        self.sim.schedule(0, self._resume)
+
+    def _resume(self) -> None:
+        """(Re-)enter the execution loop at global time."""
+        self.time = max(self.time, self.sim.now)
+        self._run()
+
+    def _run(self) -> None:
+        node = self.node
+        stats = node.stats
+        while True:
+            # yield if we have run too far ahead of global time
+            if self.time - self.sim.now >= self.quantum:
+                self.sim.at(self.time, self._resume)
+                return
+            if self._pending_op is not None:
+                op, self._pending_op = self._pending_op, None
+            else:
+                op = next(self._ops, None)
+            if op is None:
+                self._begin_finish()
+                return
+            code = op[0]
+            if code == "r":
+                addr = op[1]
+                if node.write_buffer.contains(addr):
+                    self.time += self.l1_cycles
+                    self.ops_executed += 1
+                    stats.record_read_hit(node.node_id, "wb")
+                    continue
+                result = node.hierarchy.read(addr)
+                if result.level == "l1":
+                    self.time += self.l1_cycles
+                    self.ops_executed += 1
+                    stats.record_read_hit(node.node_id, "l1")
+                    if self.trace_values:
+                        self.value_trace.append(("r", addr, result.data, self.time))
+                    continue
+                if result.level == "l2":
+                    self.time += self.l2_cycles
+                    self.ops_executed += 1
+                    stats.record_read_hit(node.node_id, "l2")
+                    if self.trace_values:
+                        self.value_trace.append(("r", addr, result.data, self.time))
+                    continue
+                self._start_read_miss(addr)
+                return
+            if code == "w":
+                if node.write_buffer.push(op[1]):
+                    self.time += self.store_cycles
+                    self.ops_executed += 1
+                    node.kick_drain()
+                    continue
+                # buffer full: wait for a drain to complete, then retry
+                self._pending_op = op
+                self._stall_started = self.time
+                node.wait_wb_change(self._retry_after_wb)
+                return
+            if code == "work":
+                self.time += op[1]
+                self.ops_executed += 1
+                continue
+            if code == "barrier":
+                self._pending_op = None
+                self._start_sync(op, is_barrier=True)
+                return
+            if code == "lock":
+                self._start_sync(op, is_barrier=False)
+                return
+            if code == "unlock":
+                self._start_unlock(op)
+                return
+            raise SimulationError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # read misses
+    # ------------------------------------------------------------------
+    def _start_read_miss(self, addr: int) -> None:
+        self._stall_started = self.time
+        issue_at = self.time + self.l2_cycles  # miss detection through L1+L2
+        if issue_at > self.sim.now:
+            self.sim.at(issue_at, lambda: self._issue_read(addr))
+        else:
+            self._issue_read(addr)
+
+    def _issue_read(self, addr: int) -> None:
+        self.node.l2ctrl.issue_read(addr, self._read_done)
+
+    def _read_done(self, txn: Transaction) -> None:
+        stall = self.sim.now - self._stall_started
+        self.read_stall_cycles += stall
+        self._stall_started = None
+        self.ops_executed += 1
+        self.node.stats.record_read_txn(self.node.node_id, txn, stall)
+        if self.trace_values:
+            self.value_trace.append(("r", txn.addr, txn.data, self.sim.now))
+        self._resume()
+
+    def _retry_after_wb(self) -> None:
+        if self._stall_started is not None:
+            self.wb_stall_cycles += max(0, self.sim.now - self._stall_started)
+            self._stall_started = None
+        self._resume()
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def _start_sync(self, op: Op, is_barrier: bool) -> None:
+        """Barrier arrival / lock acquire: fence, RMW, then wait."""
+        self._stall_started = self.time
+        self._fence_then(lambda: self._sync_rmw(op, is_barrier))
+
+    def _fence_then(self, action: Callable[[], None]) -> None:
+        """Wait (at local time) for the write buffer to drain, then act."""
+        node = self.node
+
+        def check() -> None:
+            if node.write_buffer.is_empty():
+                action()
+            else:
+                node.wait_wb_change(check)
+
+        if self.time > self.sim.now:
+            self.sim.at(self.time, check)
+        else:
+            check()
+
+    def _sync_rmw(self, op: Op, is_barrier: bool) -> None:
+        kind, sync_id = op[0], op[1]
+        addr = self.node.sync_addr(kind if kind != "lock" else "lock", sync_id)
+        self._rmw(addr, lambda: self._sync_arrived(op, is_barrier))
+
+    def _rmw(self, addr: int, then: Callable[[], None]) -> None:
+        """Read-modify-write the synchronization variable coherently."""
+        node = self.node
+        probe = node.hierarchy.write_probe(addr)
+        if probe.action == "hit":
+            line = node.hierarchy.l2.probe(addr)
+            node.hierarchy.perform_write(addr, line.data + 1)
+            self.sim.schedule(2, then)
+        else:
+            def owned(txn: Transaction) -> None:
+                line = node.hierarchy.l2.probe(addr)
+                node.hierarchy.perform_write(addr, line.data + 1)
+                then()
+
+            node.l2ctrl.issue_write(addr, owned)
+
+    def _sync_arrived(self, op: Op, is_barrier: bool) -> None:
+        node = self.node
+        if is_barrier:
+            node.barriers.arrive(op[1], node.node_id, self._sync_done)
+        else:
+            node.locks.acquire(op[1], node.node_id, self._sync_done)
+
+    def _sync_done(self) -> None:
+        if self._stall_started is not None:
+            self.sync_stall_cycles += max(0, self.sim.now - self._stall_started)
+            self._stall_started = None
+        self._resume()
+
+    def _start_unlock(self, op: Op) -> None:
+        self._stall_started = self.time
+
+        def release() -> None:
+            addr = self.node.sync_addr("lock", op[1])
+            self._rmw(addr, lambda: self._finish_unlock(op[1]))
+
+        self._fence_then(release)
+
+    def _finish_unlock(self, lock_id: int) -> None:
+        self.node.locks.release(lock_id, self.node.node_id)
+        self._sync_done()
+
+    # ------------------------------------------------------------------
+    # termination
+    # ------------------------------------------------------------------
+    def _begin_finish(self) -> None:
+        def finished() -> None:
+            if not self.done:
+                self.done = True
+                self.finish_time = max(self.time, self.sim.now)
+                self.node.on_processor_done()
+
+        self._fence_then(finished)

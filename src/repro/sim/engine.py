@@ -1,0 +1,156 @@
+"""Deterministic discrete-event simulation engine.
+
+The whole machine model is built on this small engine.  Components interact
+only by scheduling callbacks at future cycle counts; there is no implicit
+global step.  Two properties matter for a reproduction study:
+
+* **Determinism** — events scheduled for the same cycle fire in scheduling
+  order (a monotonically increasing sequence number breaks ties), so a run
+  is a pure function of the configuration and the seeds.
+* **Cheap idle time** — nothing happens between events, which lets the
+  processor models fast-forward through long runs of cache hits without
+  touching the queue (see :mod:`repro.node.processor`).
+
+Time is measured in integer *cycles* of the system clock (the paper's
+switches, links and processors all run at 200 MHz, so a single clock domain
+suffices; components with slower logic express their latency as a cycle
+count).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Callback = Callable[[], Any]
+
+
+class Event:
+    """A scheduled callback.
+
+    Holding on to the returned event allows cancellation; cancelled events
+    stay in the heap but are skipped when popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callback) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq}{state}>"
+
+
+class Simulator:
+    """Event queue and clock for one simulated machine.
+
+    Typical component code::
+
+        sim.schedule(4, lambda: port.grant(msg))     # relative delay
+        sim.at(sim.now + latency, self._finish)      # absolute time
+
+    The engine never advances past ``horizon`` (if set), which the tests use
+    to bound runaway models.
+    """
+
+    def __init__(self, horizon: Optional[int] = None) -> None:
+        self.now: int = 0
+        self._seq: int = 0
+        self._queue: List[Event] = []
+        self._events_fired: int = 0
+        self.horizon = horizon
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callback) -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + delay, callback)
+
+    def at(self, time: int, callback: Callback) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self.now}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if self.horizon is not None and event.time > self.horizon:
+                return False
+            self.now = event.time
+            self._events_fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``until`` cycles).  Returns now."""
+        if until is None:
+            while self.step():
+                pass
+        else:
+            while self._queue:
+                head = self._peek()
+                if head is None or head.time > until:
+                    break
+                self.step()
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_while(self, predicate: Callable[[], bool]) -> int:
+        """Run events while ``predicate()`` holds and events remain."""
+        while predicate():
+            if not self.step():
+                break
+        return self.now
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def next_event_time(self) -> Optional[int]:
+        head = self._peek()
+        return head.time if head is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now} pending={self.pending}>"

@@ -1,0 +1,139 @@
+"""``repro-sim``: run one workload on one machine from the command line.
+
+Examples::
+
+    repro-sim --app GE --param n=32 --design sc --sc-size 2048
+    repro-sim --app FWA --design base --record fwa.trace
+    repro-sim --trace fwa.trace --design nc
+    repro-sim --app MM --design sc --nodes 32 --protocol mesi --verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps import PAPER_APPS, TraceApplication, TraceRecorder
+from .stats.counters import READ_CATEGORIES
+from .stats.report import format_table, percent
+from .system.machine import Machine
+from .system.presets import (
+    base_config,
+    caesar_plus_config,
+    netcache_config,
+    switch_cache_config,
+)
+
+_DESIGNS = ("base", "nc", "sc", "sc+")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Simulate one workload on a CC-NUMA machine "
+                    "(Switch Cache / CAESAR reproduction).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--app", choices=sorted(PAPER_APPS),
+                        help="one of the paper's six kernels")
+    source.add_argument("--trace", metavar="FILE",
+                        help="replay a recorded trace file")
+    parser.add_argument(
+        "--param", action="append", default=[], metavar="K=V",
+        help="application parameter override (repeatable), e.g. n=32",
+    )
+    parser.add_argument("--design", choices=_DESIGNS, default="base",
+                        help="system design (default: base)")
+    parser.add_argument("--nodes", type=int, default=16,
+                        help="number of nodes (power of two, default 16)")
+    parser.add_argument("--ppn", type=int, default=1,
+                        help="processors per node (bus-based clusters)")
+    parser.add_argument("--sc-size", type=int, default=2048,
+                        help="switch-cache bytes per switch (sc/sc+ designs)")
+    parser.add_argument("--nc-size", type=int, default=128 * 1024,
+                        help="network-cache bytes per node (nc design)")
+    parser.add_argument("--protocol", choices=("msi", "mesi"), default="msi")
+    parser.add_argument("--record", metavar="FILE",
+                        help="record the executed ops to a trace file")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-category latencies and switch stats")
+    return parser
+
+
+def _parse_params(pairs: List[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --param {pair!r}: expected K=V")
+        key, value = pair.split("=", 1)
+        try:
+            params[key] = int(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _make_config(args):
+    common = dict(num_nodes=args.nodes, procs_per_node=args.ppn,
+                  protocol=args.protocol)
+    if args.design == "base":
+        return base_config(**common)
+    if args.design == "nc":
+        return netcache_config(netcache_size=args.nc_size, **common)
+    if args.design == "sc":
+        return switch_cache_config(size=args.sc_size, **common)
+    return caesar_plus_config(size=args.sc_size, **common)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.trace:
+        app = TraceApplication(args.trace)
+    else:
+        app = PAPER_APPS[args.app](**_parse_params(args.param))
+    recorder = None
+    if args.record:
+        recorder = TraceRecorder(app)
+        app = recorder
+
+    config = _make_config(args)
+    machine = Machine(config)
+    stats = machine.run(app)
+
+    print(f"design: {config.label()}   nodes: {config.num_nodes}"
+          f" x {config.procs_per_node} procs   protocol: {config.protocol}")
+    print(f"execution time: {stats.exec_time} cycles")
+    dist = stats.service_distribution()
+    rows = [(cat, stats.read_counts[cat], percent(dist[cat]))
+            for cat in READ_CATEGORIES if stats.read_counts[cat]]
+    print(format_table(("read served at", "count", "share"), rows))
+    if args.verbose:
+        from .stats.latency import breakdown_table, latency_table
+
+        print()
+        print(latency_table(stats))
+        if stats.breakdown_count:
+            print()
+            print(breakdown_table(stats))
+        print(f"\ntotal read stall: {stats.total_read_stall()} cycles")
+        print(f"mean sharing degree: {stats.mean_sharing_degree():.2f}")
+        if config.switch_caches_enabled:
+            totals = machine.switch_cache_stats()
+            print("switch caches:", ", ".join(f"{k}={v}" for k, v in totals.items()))
+            print("hits by stage:", dict(sorted(stats.switch_hits_by_stage.items())))
+    problems = machine.check_coherence()
+    if problems:
+        print(f"\nCOHERENCE VIOLATIONS ({len(problems)}):", file=sys.stderr)
+        for problem in problems[:10]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if recorder is not None:
+        recorder.save(args.record)
+        total_ops = sum(len(v) for v in recorder.recorded.values())
+        print(f"\nrecorded {total_ops} ops to {args.record}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Statistics collection and report rendering."""
+
+from .counters import BREAKDOWN_COMPONENTS, READ_CATEGORIES, MachineStats
+from .latency import breakdown_table, format_bars, latency_table, service_bars
+from .report import format_series, format_table, percent
+
+__all__ = [
+    "BREAKDOWN_COMPONENTS",
+    "READ_CATEGORIES",
+    "MachineStats",
+    "breakdown_table",
+    "format_bars",
+    "latency_table",
+    "service_bars",
+    "format_series",
+    "format_table",
+    "percent",
+]

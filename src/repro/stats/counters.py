@@ -1,0 +1,230 @@
+"""Machine-wide statistics.
+
+Collects exactly the quantities the paper's evaluation reports:
+
+* where every read was served — write buffer, L1, L2, network cache,
+  switch cache (by MIN stage), local memory, remote memory, or a remote
+  owner's cache (recall);
+* read latency and read stall time per service class;
+* remote-read latency breakdown (NI queueing, network transit, memory
+  queueing and service — the paper's Q/T components);
+* execution time (max processor finish time) and its stall decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..coherence.messages import Transaction
+
+#: service classes for reads, in reporting order
+READ_CATEGORIES = (
+    "wb",
+    "l1",
+    "l2",
+    "cluster",
+    "netcache",
+    "switch",
+    "local_mem",
+    "remote_mem",
+    "owner",
+)
+
+#: remote-read latency breakdown components (paper Sec. 2.1)
+BREAKDOWN_COMPONENTS = (
+    "req_ni_q",
+    "req_transit",
+    "mem_queue",
+    "mem_service",
+    "reply_ni_q",
+    "reply_transit",
+)
+
+
+class MachineStats:
+    """Aggregated statistics for one simulation run."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.read_counts: Dict[str, int] = {c: 0 for c in READ_CATEGORIES}
+        self.read_latency: Dict[str, int] = {c: 0 for c in READ_CATEGORIES}
+        self.switch_hits_by_stage: Dict[int, int] = {}
+        self.breakdown_sums: Dict[str, int] = {c: 0 for c in BREAKDOWN_COMPONENTS}
+        self.breakdown_count = 0
+        self.writes_completed = 0
+        self.write_latency = 0
+        self.upgrades_completed = 0
+        self.exec_time: Optional[int] = None
+        self.finish_times: Dict[int, int] = {}
+        self.per_node_reads: List[int] = [0] * num_nodes
+        # sharing analysis (paper Fig. 3 / Sec. 2.2): which processors read
+        # each block (at L2-miss granularity), and whether an ideal global
+        # cache could have served each read (same block+version seen before)
+        self.block_readers: Dict[int, set] = {}
+        self.block_read_counts: Dict[int, int] = {}
+        self._seen_versions: set = set()
+        self.ideal_global_hits = 0
+        self.ideal_global_misses = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_read_hit(self, node: int, category: str) -> None:
+        self.read_counts[category] += 1
+        self.per_node_reads[node] += 1
+        # hits are effectively free relative to misses; latency ~1-10 is
+        # accounted by the processor's local clock, not recorded here
+
+    def record_read_txn(self, node: int, txn: Transaction, stall: int) -> None:
+        category = txn.served_by or "remote_mem"
+        self.read_counts[category] += 1
+        self.read_latency[category] += stall
+        self.per_node_reads[node] += 1
+        if category == "switch" and txn.served_stage is not None:
+            self.switch_hits_by_stage[txn.served_stage] = (
+                self.switch_hits_by_stage.get(txn.served_stage, 0) + 1
+            )
+        if category in ("remote_mem", "owner"):
+            self._record_breakdown(txn)
+        self.block_readers.setdefault(txn.addr, set()).add(node)
+        self.block_read_counts[txn.addr] = self.block_read_counts.get(txn.addr, 0) + 1
+        key = (txn.addr, txn.data)
+        if key in self._seen_versions:
+            self.ideal_global_hits += 1
+        else:
+            self._seen_versions.add(key)
+            self.ideal_global_misses += 1
+
+    def _record_breakdown(self, txn: Transaction) -> None:
+        req, reply = txn.req_msg, txn.reply_msg
+        if req is None or reply is None:
+            return
+        if req.injected_at < 0 or reply.delivered_at < 0:
+            return
+        mem_wait = reply.payload.get("mem_wait", 0)
+        home_service = max(0, reply.created_at - req.delivered_at)
+        self.breakdown_sums["req_ni_q"] += max(0, req.injected_at - req.created_at)
+        self.breakdown_sums["req_transit"] += max(
+            0, req.delivered_at - req.injected_at
+        )
+        self.breakdown_sums["mem_queue"] += mem_wait
+        self.breakdown_sums["mem_service"] += max(0, home_service - mem_wait)
+        self.breakdown_sums["reply_ni_q"] += max(
+            0, reply.injected_at - reply.created_at
+        )
+        self.breakdown_sums["reply_transit"] += max(
+            0, reply.delivered_at - reply.injected_at
+        )
+        self.breakdown_count += 1
+
+    def record_write_txn(self, node: int, txn: Transaction) -> None:
+        if txn.kind == "upgrade":
+            self.upgrades_completed += 1
+        else:
+            self.writes_completed += 1
+        self.write_latency += txn.latency
+
+    def record_finish(self, node: int, time: int) -> None:
+        self.finish_times[node] = time
+        if len(self.finish_times) == self.num_nodes:
+            self.exec_time = max(self.finish_times.values())
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def total_reads(self) -> int:
+        return sum(self.read_counts.values())
+
+    def shared_reads(self) -> int:
+        """Reads that went past the processor caches (L2 misses)."""
+        return sum(
+            self.read_counts[c]
+            for c in ("cluster", "netcache", "switch", "local_mem",
+                      "remote_mem", "owner")
+        )
+
+    def remote_reads(self) -> int:
+        """Reads to remote homes (however they were served)."""
+        return sum(
+            self.read_counts[c]
+            for c in ("netcache", "switch", "remote_mem", "owner")
+        )
+
+    def reads_at_remote_memory(self) -> int:
+        """The paper's headline metric: reads served at a distant memory."""
+        return self.read_counts["remote_mem"] + self.read_counts["owner"]
+
+    def mean_latency(self, category: str) -> float:
+        count = self.read_counts[category]
+        return self.read_latency[category] / count if count else 0.0
+
+    def mean_remote_read_latency(self) -> float:
+        cats = ("netcache", "switch", "remote_mem", "owner")
+        count = sum(self.read_counts[c] for c in cats)
+        total = sum(self.read_latency[c] for c in cats)
+        return total / count if count else 0.0
+
+    def breakdown_means(self) -> Dict[str, float]:
+        if self.breakdown_count == 0:
+            return {c: 0.0 for c in BREAKDOWN_COMPONENTS}
+        return {
+            c: self.breakdown_sums[c] / self.breakdown_count
+            for c in BREAKDOWN_COMPONENTS
+        }
+
+    def service_distribution(self) -> Dict[str, float]:
+        total = self.total_reads()
+        if total == 0:
+            return {c: 0.0 for c in READ_CATEGORIES}
+        return {c: self.read_counts[c] / total for c in READ_CATEGORIES}
+
+    def total_read_stall(self) -> int:
+        return sum(self.read_latency.values())
+
+    def sharing_histogram(self, max_degree: int) -> Dict[int, int]:
+        """Reads-to-blocks-read-by-k-processors histogram (paper Fig. 3).
+
+        Bucket k holds the number of L2-miss reads that went to blocks
+        ultimately read by exactly k distinct processors.
+        """
+        histogram: Dict[int, int] = {k: 0 for k in range(1, max_degree + 1)}
+        for block, readers in self.block_readers.items():
+            degree = min(len(readers), max_degree)
+            histogram[degree] += self.block_read_counts[block]
+        return histogram
+
+    def mean_sharing_degree(self) -> float:
+        if not self.block_readers:
+            return 0.0
+        weighted = sum(
+            len(readers) * self.block_read_counts[block]
+            for block, readers in self.block_readers.items()
+        )
+        total = sum(self.block_read_counts.values())
+        return weighted / total if total else 0.0
+
+    def ideal_global_hit_rate(self) -> float:
+        total = self.ideal_global_hits + self.ideal_global_misses
+        return self.ideal_global_hits / total if total else 0.0
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable summary of the run (for tooling/export)."""
+        return {
+            "exec_time": self.exec_time,
+            "read_counts": dict(self.read_counts),
+            "read_latency_sums": dict(self.read_latency),
+            "switch_hits_by_stage": {
+                str(k): v for k, v in self.switch_hits_by_stage.items()
+            },
+            "breakdown_means": self.breakdown_means(),
+            "writes_completed": self.writes_completed,
+            "upgrades_completed": self.upgrades_completed,
+            "total_reads": self.total_reads(),
+            "remote_reads": self.remote_reads(),
+            "reads_at_remote_memory": self.reads_at_remote_memory(),
+            "mean_remote_read_latency": self.mean_remote_read_latency(),
+            "total_read_stall": self.total_read_stall(),
+            "mean_sharing_degree": self.mean_sharing_degree(),
+            "ideal_global_hit_rate": self.ideal_global_hit_rate(),
+            "finish_times": {str(k): v for k, v in self.finish_times.items()},
+        }

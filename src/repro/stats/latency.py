@@ -1,0 +1,88 @@
+"""Latency analysis helpers built on :class:`MachineStats`.
+
+These render the two latency views the paper's evaluation uses — mean
+read latency per service class, and the remote-read component breakdown
+(NI queueing / transit / memory queueing / memory service) — as tables
+or ASCII bars for CLI/report output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .counters import BREAKDOWN_COMPONENTS, READ_CATEGORIES, MachineStats
+from .report import format_table
+
+#: human-readable component labels for the breakdown view
+_COMPONENT_LABELS = {
+    "req_ni_q": "request NI queue",
+    "req_transit": "request transit",
+    "mem_queue": "memory queue",
+    "mem_service": "memory service",
+    "reply_ni_q": "reply NI queue",
+    "reply_transit": "reply transit",
+}
+
+
+def service_latency_rows(stats: MachineStats) -> List[Tuple[str, int, float]]:
+    """(category, count, mean latency) for every class that served reads."""
+    rows = []
+    for category in READ_CATEGORIES:
+        count = stats.read_counts[category]
+        if count:
+            rows.append((category, count, stats.mean_latency(category)))
+    return rows
+
+
+def latency_table(stats: MachineStats) -> str:
+    rows = [
+        (cat, count, f"{mean:.1f}")
+        for cat, count, mean in service_latency_rows(stats)
+    ]
+    return format_table(
+        ("served at", "reads", "mean latency (cyc)"), rows,
+        title="Read latency by service class",
+    )
+
+
+def breakdown_table(stats: MachineStats) -> str:
+    means = stats.breakdown_means()
+    total = sum(means.values()) or 1.0
+    rows = [
+        (_COMPONENT_LABELS[c], f"{means[c]:.1f}", f"{means[c] / total:.1%}")
+        for c in BREAKDOWN_COMPONENTS
+    ]
+    return format_table(
+        ("component", "cycles", "share"), rows,
+        title=f"Remote read latency breakdown "
+              f"({stats.breakdown_count} reads sampled)",
+    )
+
+
+def format_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bars, scaled to the max value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    peak = max(values) if values else 0.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak)) if peak > 0 else 0
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def service_bars(stats: MachineStats, width: int = 40) -> str:
+    """Bars of read counts per service class (non-empty classes only)."""
+    rows = service_latency_rows(stats)
+    return format_bars(
+        [cat for cat, _c, _m in rows],
+        [float(count) for _cat, count, _m in rows],
+        width=width,
+    )

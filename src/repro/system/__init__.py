@@ -1,0 +1,19 @@
+"""System configuration and machine assembly."""
+
+from .addressing import AddressSpace, Matrix, Vector
+from .config import KB, SystemConfig
+from .machine import Machine
+from .presets import base_config, caesar_plus_config, netcache_config, switch_cache_config
+
+__all__ = [
+    "AddressSpace",
+    "Matrix",
+    "Vector",
+    "KB",
+    "SystemConfig",
+    "Machine",
+    "base_config",
+    "caesar_plus_config",
+    "netcache_config",
+    "switch_cache_config",
+]

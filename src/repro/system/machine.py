@@ -1,0 +1,267 @@
+"""Full-machine assembly and run loop.
+
+``Machine`` wires a :class:`SystemConfig` into a complete CC-NUMA
+multiprocessor: BMIN fabric (with CAESAR engines when enabled), one
+:class:`~repro.node.node.Node` per node, barrier/lock managers, a shared
+address space, and the statistics collector.  ``run`` executes an
+application to completion and returns the statistics.
+
+The machine also exposes the whole-system coherence audit used by the
+test suite (:meth:`check_coherence`): at quiescence every cached copy —
+L1, L2, network cache, or switch cache — must agree with its home
+directory, and directory ownership must be exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cache.states import DirState, LineState
+from ..core.caesar import CaesarEngine
+from ..core.policy import CachingPolicy
+from ..core.switchcache import SwitchCacheGeometry
+from ..errors import DeadlockError, SimulationError
+from ..network.fabric import Fabric
+from ..network.flitref import FlitNetwork
+from ..network.topology import BminTopology
+from ..node.node import Node
+from ..node.sync import BarrierManager, LockManager
+from ..sim.engine import Simulator
+from ..stats.counters import MachineStats
+from .addressing import AddressSpace
+from .config import SystemConfig
+
+
+class Machine:
+    """One configured CC-NUMA multiprocessor."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.topology = BminTopology(config.num_nodes)
+        if config.network_model == "flit":
+            self.fabric = FlitNetwork(
+                self.sim,
+                self.topology,
+                cycles_per_flit=config.cycles_per_flit,
+                switch_delay=config.switch_delay,
+            )
+        else:
+            self.fabric = Fabric(
+                self.sim,
+                self.topology,
+                switch_delay=config.switch_delay,
+                cycles_per_flit=config.cycles_per_flit,
+            )
+        if config.switch_caches_enabled:
+            self.fabric.install_cache_engines(self._make_engine)
+        self.space = AddressSpace(config.num_nodes, config.block_size)
+        self.stats = MachineStats(config.num_nodes * config.procs_per_node)
+        self.barriers = BarrierManager(
+            self.sim,
+            config.num_nodes * config.procs_per_node,
+            config.barrier_wakeup_cycles,
+        )
+        self.locks = LockManager(self.sim, config.lock_handoff_cycles)
+        self._sync_addrs: Dict[Tuple[str, int], int] = {}
+        self._done_count = 0
+        self.nodes: List[Node] = [
+            Node(
+                self.sim,
+                node_id,
+                config,
+                self.fabric,
+                self.space.home_of,
+                self.barriers,
+                self.locks,
+                self.stats,
+                self.sync_addr,
+                self._node_done,
+            )
+            for node_id in range(config.num_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _make_engine(self, switch_id) -> CaesarEngine:
+        cfg = self.config
+        geometry = SwitchCacheGeometry(
+            size=cfg.switch_cache_size,
+            block_size=cfg.block_size,
+            assoc=cfg.switch_cache_assoc,
+            banks=cfg.switch_cache_banks,
+            output_width_bits=cfg.switch_cache_width_bits,
+            replacement=cfg.switch_cache_replacement,
+        )
+        policy = CachingPolicy(
+            bypass_threshold=cfg.switch_cache_bypass_threshold,
+            deposit_threshold=cfg.switch_cache_deposit_threshold,
+            enabled_stages=cfg.switch_cache_stages,
+        )
+        return CaesarEngine(self.sim, switch_id, geometry, policy)
+
+    def sync_addr(self, kind: str, sync_id: int) -> int:
+        """Block-aligned address of a synchronization variable."""
+        key = (kind, sync_id)
+        addr = self._sync_addrs.get(key)
+        if addr is None:
+            addr = self.space.alloc(self.config.block_size, interleave=True)
+            self._sync_addrs[key] = addr
+        return addr
+
+    def _node_done(self, proc_id: int) -> None:
+        self._done_count += 1
+        self.stats.record_finish(proc_id, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # processor/node helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_procs(self) -> int:
+        return self.config.num_nodes * self.config.procs_per_node
+
+    def node_of_proc(self, proc_id: int) -> int:
+        return proc_id // self.config.procs_per_node
+
+    def stacks(self):
+        for node in self.nodes:
+            yield from node.stacks
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, app, max_cycles: Optional[int] = None) -> MachineStats:
+        """Execute ``app`` on all processors until completion."""
+        app.setup(self)
+        for stack in self.stacks():
+            stack.processor.start(app.ops(stack.proc_id, self))
+        self.sim.run_while(lambda: self._done_count < self.num_procs)
+        if self._done_count < self.num_procs:
+            stuck = [s.proc_id for s in self.stacks() if not s.processor.done]
+            raise DeadlockError(
+                f"event queue drained with processors {stuck} unfinished "
+                f"at cycle {self.sim.now}"
+            )
+        # let in-flight traffic (writebacks, late invalidations) quiesce
+        self.sim.run(until=max_cycles)
+        if self.stats.exec_time is None:
+            raise SimulationError("finish times missing")
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # whole-system coherence audit (used by tests)
+    # ------------------------------------------------------------------
+    def check_coherence(self) -> List[str]:
+        """Return a list of invariant violations (empty when coherent).
+
+        Only meaningful at quiescence (no events pending).
+        """
+        problems: List[str] = []
+        # collect every directory entry
+        for home in self.nodes:
+            for block, entry in home.directory.entries():
+                holders_m = []
+                holders_s = []
+                for node in self.nodes:
+                    for stack in node.stacks:
+                        line = stack.hierarchy.l2.probe(block)
+                        if line is None:
+                            continue
+                        if line.state.owned():  # MODIFIED or EXCLUSIVE
+                            holders_m.append((node.node_id, line.data))
+                        else:
+                            holders_s.append((node.node_id, line.data))
+                if entry.state is DirState.MODIFIED:
+                    if len(holders_m) != 1 or holders_m[0][0] != entry.owner:
+                        problems.append(
+                            f"block {block:#x}: dir owner {entry.owner} but "
+                            f"M holders {holders_m}"
+                        )
+                else:
+                    if holders_m:
+                        problems.append(
+                            f"block {block:#x}: dir {entry.state} but M "
+                            f"holders {holders_m}"
+                        )
+                    for node_id, version in holders_s:
+                        if node_id not in entry.sharers:
+                            problems.append(
+                                f"block {block:#x}: node {node_id} holds S "
+                                f"copy but is not a registered sharer"
+                            )
+                        if version != entry.version:
+                            problems.append(
+                                f"block {block:#x}: node {node_id} S copy "
+                                f"v{version} != home v{entry.version}"
+                            )
+                # network caches must match home versions too
+                for node in self.nodes:
+                    if node.netcache is None:
+                        continue
+                    nc_line = node.netcache.array.probe(block)
+                    if nc_line is not None:
+                        if entry.state is DirState.MODIFIED:
+                            problems.append(
+                                f"block {block:#x}: netcache {node.node_id} "
+                                f"copy while block is MODIFIED"
+                            )
+                        elif nc_line.data != entry.version:
+                            problems.append(
+                                f"block {block:#x}: netcache {node.node_id} "
+                                f"v{nc_line.data} != home v{entry.version}"
+                            )
+        # switch caches must agree with home directories
+        for sid, block, version in self.fabric.switch_cache_blocks():
+            home = self.nodes[self.space.home_of(block)]
+            entry = home.directory.entry(block)
+            if entry.state is DirState.MODIFIED:
+                problems.append(
+                    f"block {block:#x}: switch {sid} copy while MODIFIED"
+                )
+            elif version != entry.version:
+                problems.append(
+                    f"block {block:#x}: switch {sid} copy v{version} != "
+                    f"home v{entry.version}"
+                )
+        return problems
+
+    # convenience accessors -------------------------------------------------
+    def memory_version(self, addr: int) -> int:
+        home = self.nodes[self.space.home_of(addr)]
+        return home.directory.version_of(addr)
+
+    def summary(self) -> str:
+        """Human-readable post-run report (service classes, latencies)."""
+        from ..stats.latency import breakdown_table, latency_table
+
+        lines = [
+            f"machine: {self.config.label()}  nodes={self.config.num_nodes}"
+            f" x {self.config.procs_per_node} procs"
+            f"  protocol={self.config.protocol}",
+        ]
+        if self.stats.exec_time is not None:
+            lines.append(f"execution time: {self.stats.exec_time} cycles")
+        lines.append(latency_table(self.stats))
+        if self.stats.breakdown_count:
+            lines.append(breakdown_table(self.stats))
+        if self.config.switch_caches_enabled:
+            totals = self.switch_cache_stats()
+            lines.append(
+                "switch caches: "
+                + ", ".join(f"{k}={v}" for k, v in totals.items())
+            )
+        return "\n\n".join(lines)
+
+    def switch_cache_stats(self) -> Dict[str, int]:
+        totals = {
+            "lookups": 0, "hits": 0, "misses": 0, "bypasses": 0,
+            "deposits": 0, "deposit_skips": 0, "snoops": 0, "purges": 0,
+        }
+        for switch in self.fabric.switches.values():
+            engine = switch.cache_engine
+            if engine is None:
+                continue
+            for key in totals:
+                totals[key] += getattr(engine, key)
+        return totals

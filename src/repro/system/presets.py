@@ -1,0 +1,59 @@
+"""Canonical system configurations used throughout the evaluation.
+
+These mirror the paper's compared systems:
+
+* ``base_config``        — the plain CC-NUMA machine (Section 5.1).
+* ``netcache_config``    — base + an SRAM network cache at each NI
+  (the remote-data-cache comparator [16][29]).
+* ``switch_cache_config``— base + CAESAR switch caches in every switch;
+  size defaults to 2 KB per switch, sweepable down to the paper's 512 B.
+* ``caesar_plus_config`` — switch caches with 2-way interleaved banks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from .config import KB, SystemConfig
+
+
+def base_config(num_nodes: int = 16, **overrides) -> SystemConfig:
+    """The paper's base 16-node system."""
+    return SystemConfig(num_nodes=num_nodes, **overrides)
+
+
+def netcache_config(
+    num_nodes: int = 16, netcache_size: int = 128 * KB, **overrides
+) -> SystemConfig:
+    """Base system plus a per-node network (remote data) cache."""
+    return SystemConfig(
+        num_nodes=num_nodes, netcache_size=netcache_size, **overrides
+    )
+
+
+def switch_cache_config(
+    num_nodes: int = 16,
+    size: int = 2 * KB,
+    assoc: int = 2,
+    banks: int = 1,
+    width_bits: int = 64,
+    stages: Optional[Set[int]] = None,
+    **overrides,
+) -> SystemConfig:
+    """Base system plus CAESAR switch caches."""
+    return SystemConfig(
+        num_nodes=num_nodes,
+        switch_cache_size=size,
+        switch_cache_assoc=assoc,
+        switch_cache_banks=banks,
+        switch_cache_width_bits=width_bits,
+        switch_cache_stages=stages,
+        **overrides,
+    )
+
+
+def caesar_plus_config(
+    num_nodes: int = 16, size: int = 2 * KB, **overrides
+) -> SystemConfig:
+    """CAESAR+ — the 2-way interleaved (banked) switch cache."""
+    return switch_cache_config(num_nodes=num_nodes, size=size, banks=2, **overrides)

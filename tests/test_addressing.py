@@ -1,0 +1,104 @@
+"""Unit tests for the shared address space and array helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.system.addressing import AddressSpace, Matrix, Vector
+
+
+class TestAddressSpace:
+    def test_fixed_home(self):
+        space = AddressSpace(4, 64)
+        base = space.alloc(256, home=2)
+        for offset in range(0, 256, 64):
+            assert space.home_of(base + offset) == 2
+
+    def test_interleaved_round_robin(self):
+        space = AddressSpace(4, 64)
+        base = space.alloc(64 * 8, interleave=True)
+        homes = [space.home_of(base + i * 64) for i in range(8)]
+        assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace(4, 64)
+        a = space.alloc(100, home=0)
+        b = space.alloc(100, home=1)
+        assert b >= a + 128  # rounded up to blocks
+
+    def test_block_rounding(self):
+        space = AddressSpace(4, 64)
+        space.alloc(1, home=0)
+        assert space.bytes_allocated == 64
+
+    def test_home_and_interleave_mutually_exclusive(self):
+        space = AddressSpace(4, 64)
+        with pytest.raises(ConfigError):
+            space.alloc(64, home=1, interleave=True)
+
+    def test_home_out_of_range(self):
+        space = AddressSpace(4, 64)
+        with pytest.raises(ConfigError):
+            space.alloc(64, home=4)
+
+    def test_zero_alloc_rejected(self):
+        space = AddressSpace(4, 64)
+        with pytest.raises(ConfigError):
+            space.alloc(0)
+
+    def test_unmapped_addresses_interleave_globally(self):
+        space = AddressSpace(4, 64)
+        assert space.home_of(10_000_000) == (10_000_000 // 64) % 4
+
+    def test_home_is_block_uniform(self):
+        space = AddressSpace(4, 64)
+        base = space.alloc(128, interleave=True)
+        assert space.home_of(base) == space.home_of(base + 63)
+
+    def test_memoization_consistent(self):
+        space = AddressSpace(4, 64)
+        base = space.alloc(256, home=3)
+        assert space.home_of(base) == space.home_of(base)
+
+
+class TestMatrix:
+    def test_row_major_addresses(self):
+        space = AddressSpace(4, 64)
+        m = Matrix(space, 4, 4, elem_bytes=8)
+        assert m.addr(0, 1) - m.addr(0, 0) == 8
+        assert m.addr(1, 0) - m.addr(0, 0) == 32
+
+    def test_row_home_policy(self):
+        space = AddressSpace(4, 64)
+        m = Matrix(space, 8, 8, row_home=lambda i: i % 4)
+        for i in range(8):
+            assert space.home_of(m.addr(i, 0)) == i % 4
+
+    def test_rows_are_disjoint(self):
+        space = AddressSpace(4, 64)
+        m = Matrix(space, 4, 8, row_home=lambda i: 0)
+        addrs = {m.addr(i, j) for i in range(4) for j in range(8)}
+        assert len(addrs) == 32
+
+    def test_row_addr(self):
+        space = AddressSpace(4, 64)
+        m = Matrix(space, 2, 4)
+        assert m.row_addr(1) == m.addr(1, 0)
+
+
+class TestVector:
+    def test_fixed_home_vector(self):
+        space = AddressSpace(4, 64)
+        v = Vector(space, 32, home=1)
+        assert space.home_of(v.addr(0)) == 1
+        assert space.home_of(v.addr(31)) == 1
+
+    def test_interleaved_vector(self):
+        space = AddressSpace(4, 64)
+        v = Vector(space, 64)
+        homes = {space.home_of(v.addr(i)) for i in range(64)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_element_addresses(self):
+        space = AddressSpace(4, 64)
+        v = Vector(space, 8, elem_bytes=16)
+        assert v.addr(2) - v.addr(0) == 32

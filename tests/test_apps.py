@@ -1,0 +1,155 @@
+"""Tests of the six paper kernels: stream well-formedness, barrier
+structure, sharing character, and full runs on a small machine."""
+
+import pytest
+
+from repro.apps import (
+    PAPER_APPS,
+    FloydWarshall,
+    GaussianElimination,
+    GramSchmidt,
+    MatrixMultiply,
+    RedBlackSOR,
+    SixStepFFT,
+)
+from repro.apps.base import block_partition, cyclic_partition, owner_of_row
+from repro.errors import ConfigError
+from repro.system.machine import Machine
+
+from conftest import assert_coherent, tiny_config
+
+SMALL_APPS = {
+    "FWA": lambda: FloydWarshall(n=8),
+    "GS": lambda: GramSchmidt(n_vectors=6, length=8),
+    "GE": lambda: GaussianElimination(n=8),
+    "MM": lambda: MatrixMultiply(n=8),
+    "SOR": lambda: RedBlackSOR(n=12, iterations=1),
+    "FFT": lambda: SixStepFFT(m=8),
+}
+
+
+class TestPartitionHelpers:
+    def test_block_partition_covers_everything(self):
+        seen = []
+        for p in range(4):
+            seen.extend(block_partition(10, p, 4))
+        assert sorted(seen) == list(range(10))
+
+    def test_block_partition_balanced(self):
+        sizes = [len(block_partition(10, p, 4)) for p in range(4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_cyclic_partition_covers_everything(self):
+        seen = []
+        for p in range(4):
+            seen.extend(cyclic_partition(10, p, 4))
+        assert sorted(seen) == list(range(10))
+
+    def test_owner_of_row_matches_block_partition(self):
+        for n_rows in (7, 8, 16, 23):
+            for p in range(4):
+                for row in block_partition(n_rows, p, 4):
+                    assert owner_of_row(row, n_rows, 4) == p
+
+
+class TestStreamWellFormedness:
+    @pytest.mark.parametrize("name", list(SMALL_APPS))
+    def test_ops_are_valid(self, name):
+        machine = Machine(tiny_config())
+        app = SMALL_APPS[name]()
+        app.setup(machine)
+        valid_codes = {"r", "w", "work", "barrier", "lock", "unlock"}
+        for proc in range(4):
+            for op in app.ops(proc, machine):
+                assert op[0] in valid_codes
+                if op[0] in ("r", "w"):
+                    assert op[1] > 0
+                if op[0] == "work":
+                    assert op[1] >= 0
+
+    @pytest.mark.parametrize("name", list(SMALL_APPS))
+    def test_barrier_sequences_agree_across_procs(self, name):
+        machine = Machine(tiny_config())
+        app = SMALL_APPS[name]()
+        app.setup(machine)
+        sequences = []
+        for proc in range(4):
+            barriers = [op[1] for op in app.ops(proc, machine)
+                        if op[0] == "barrier"]
+            sequences.append(barriers)
+        assert all(seq == sequences[0] for seq in sequences)
+
+    @pytest.mark.parametrize("name", list(SMALL_APPS))
+    def test_addresses_within_allocations(self, name):
+        machine = Machine(tiny_config())
+        app = SMALL_APPS[name]()
+        app.setup(machine)
+        limit = machine.space.bytes_allocated + machine.config.block_size
+        for proc in range(4):
+            for op in app.ops(proc, machine):
+                if op[0] in ("r", "w"):
+                    assert op[1] < limit
+
+
+class TestFullRuns:
+    @pytest.mark.parametrize("name", list(SMALL_APPS))
+    def test_runs_coherently_on_base(self, name):
+        machine = Machine(tiny_config())
+        stats = machine.run(SMALL_APPS[name]())
+        assert stats.exec_time > 0
+        assert stats.total_reads() > 0
+        assert_coherent(machine)
+
+    @pytest.mark.parametrize("name", list(SMALL_APPS))
+    def test_runs_coherently_with_switch_caches(self, name):
+        machine = Machine(tiny_config(switch_cache_size=1024))
+        stats = machine.run(SMALL_APPS[name]())
+        assert stats.exec_time > 0
+        assert_coherent(machine)
+
+
+class TestSharingCharacter:
+    def test_fwa_is_widely_shared(self):
+        machine = Machine(tiny_config())
+        stats = machine.run(FloydWarshall(n=8))
+        assert stats.mean_sharing_degree() > 3.0
+
+    def test_fft_has_no_read_sharing(self):
+        machine = Machine(tiny_config())
+        stats = machine.run(SixStepFFT(m=8))
+        # every remote block is read by exactly one processor
+        assert stats.mean_sharing_degree() == pytest.approx(1.0)
+
+    def test_sor_is_nearest_neighbor(self):
+        machine = Machine(tiny_config())
+        stats = machine.run(RedBlackSOR(n=16, iterations=1))
+        assert stats.mean_sharing_degree() <= 2.5
+
+    def test_ge_pivot_rows_shared_by_all(self):
+        machine = Machine(tiny_config())
+        stats = machine.run(GaussianElimination(n=12))
+        hist = stats.sharing_histogram(4)
+        assert hist[4] > 0  # some blocks read by every processor
+
+
+class TestAppParameters:
+    def test_fft_odd_m_rejected(self):
+        with pytest.raises(ConfigError):
+            SixStepFFT(m=9)
+
+    def test_paper_apps_registry_complete(self):
+        assert set(PAPER_APPS) == {"FWA", "GS", "GE", "MM", "SOR", "FFT"}
+
+    def test_mm_b_matrix_is_interleaved(self):
+        machine = Machine(tiny_config())
+        app = MatrixMultiply(n=8)
+        app.setup(machine)
+        homes = {machine.space.home_of(app.b.addr(i, 0)) for i in range(8)}
+        assert len(homes) > 1
+
+    def test_ge_rows_homed_cyclically(self):
+        machine = Machine(tiny_config())
+        app = GaussianElimination(n=8)
+        app.setup(machine)
+        for i in range(8):
+            assert machine.space.home_of(app.a.addr(i, 0)) == i % 4

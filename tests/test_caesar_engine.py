@@ -1,0 +1,150 @@
+"""Unit tests for the CAESAR cache engine (fabric hooks + policy)."""
+
+from repro.core.caesar import CaesarEngine
+from repro.core.policy import CachingPolicy
+from repro.core.switchcache import SwitchCacheGeometry
+from repro.network.message import Message, MsgKind
+from repro.sim.engine import Simulator
+
+
+def make_engine(sim=None, policy=None, **geo_kw):
+    sim = sim if sim is not None else Simulator()
+    geo = SwitchCacheGeometry(size=2048, **geo_kw)
+    return CaesarEngine(sim, (1, 0), geo, policy=policy)
+
+
+def reply(addr, data=1):
+    return Message(MsgKind.DATA_S, 15, 0, addr, 9, data=data)
+
+
+def read(addr, src=2):
+    return Message(MsgKind.READ, src, 15, addr, 1)
+
+
+def inv(addr):
+    return Message(MsgKind.INV, 15, 0, addr, 1)
+
+
+class TestDeposit:
+    def test_deposit_stores_block(self):
+        engine = make_engine()
+        assert engine.try_deposit(reply(0x40, data=9))
+        assert engine.deposits == 1
+        line = engine.array.probe(0x40)
+        assert line is not None and line.data == 9
+
+    def test_deposit_skipped_when_bank_backed_up(self):
+        engine = make_engine(policy=CachingPolicy(deposit_threshold=0))
+        engine.try_deposit(reply(0x40))
+        # the first deposit occupied the data bank; the next must skip
+        assert not engine.try_deposit(reply(0x80))
+        assert engine.deposit_skips == 1
+
+    def test_deposit_disabled_stage(self):
+        engine = make_engine(policy=CachingPolicy(enabled_stages={0, 2, 3}))
+        # engine is at stage 1 which is excluded
+        assert not engine.try_deposit(reply(0x40))
+        assert engine.array.occupancy() == 0
+
+
+class TestIntercept:
+    def test_miss_returns_none(self):
+        engine = make_engine()
+        assert engine.try_intercept(read(0x40)) is None
+        assert engine.misses == 1
+
+    def test_hit_returns_data_and_ready_time(self):
+        sim = Simulator()
+        engine = make_engine(sim)
+        engine.try_deposit(reply(0x40, data=3))
+        sim.now += 100  # let the ports drain
+        served = engine.try_intercept(read(0x40))
+        assert served is not None
+        data, ready = served
+        assert data == 3
+        # tag (1 cycle) + data stream (8 cycles at 64-bit width)
+        assert ready == sim.now + 1 + 8
+
+    def test_bypass_when_tag_port_congested(self):
+        sim = Simulator()
+        engine = make_engine(sim, policy=CachingPolicy(bypass_threshold=0))
+        engine.try_deposit(reply(0x40))
+        # deposit reserved the tag port; a read arriving in the same cycle
+        # sees backlog > 0 and bypasses rather than queueing
+        assert engine.try_intercept(read(0x40)) is None
+        assert engine.bypasses == 1
+        assert engine.lookups == 0
+
+    def test_disabled_stage_never_intercepts(self):
+        engine = make_engine(policy=CachingPolicy(enabled_stages=set()))
+        engine.try_deposit(reply(0x40))
+        assert engine.try_intercept(read(0x40)) is None
+
+
+class TestSnoop:
+    def test_snoop_purges_matching_block(self):
+        engine = make_engine()
+        engine.try_deposit(reply(0x40))
+        engine.snoop(inv(0x40))
+        assert engine.purges == 1
+        assert engine.array.probe(0x40) is None
+
+    def test_snoop_miss_harmless(self):
+        engine = make_engine()
+        engine.snoop(inv(0x80))
+        assert engine.snoops == 1
+        assert engine.purges == 0
+
+    def test_snoop_never_skipped_even_when_busy(self):
+        sim = Simulator()
+        engine = make_engine(sim, policy=CachingPolicy(bypass_threshold=0,
+                                                       deposit_threshold=0))
+        engine.try_deposit(reply(0x40))
+        # ports are busy, yet the snoop must still purge (correctness)
+        engine.snoop(inv(0x40))
+        assert engine.array.probe(0x40) is None
+
+    def test_snooped_block_no_longer_served(self):
+        sim = Simulator()
+        engine = make_engine(sim)
+        engine.try_deposit(reply(0x40, data=5))
+        engine.snoop(inv(0x40))
+        sim.now += 100
+        assert engine.try_intercept(read(0x40)) is None
+
+
+class TestStats:
+    def test_hit_rate(self):
+        sim = Simulator()
+        engine = make_engine(sim)
+        engine.try_deposit(reply(0x40))
+        sim.now += 100
+        engine.try_intercept(read(0x40))
+        sim.now += 100
+        engine.try_intercept(read(0x999940))
+        assert engine.hit_rate() == 0.5
+
+    def test_hit_rate_empty(self):
+        assert make_engine().hit_rate() == 0.0
+
+
+class TestPolicy:
+    def test_defaults_enable_all_stages(self):
+        policy = CachingPolicy()
+        for stage in range(4):
+            assert policy.stage_enabled(stage)
+
+    def test_should_check_threshold(self):
+        policy = CachingPolicy(bypass_threshold=4)
+        assert policy.should_check(4)
+        assert not policy.should_check(5)
+
+    def test_should_deposit_threshold(self):
+        policy = CachingPolicy(deposit_threshold=16)
+        assert policy.should_deposit(16)
+        assert not policy.should_deposit(17)
+
+    def test_stage_filter(self):
+        policy = CachingPolicy(enabled_stages={2, 3})
+        assert not policy.stage_enabled(0)
+        assert policy.stage_enabled(3)

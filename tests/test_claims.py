@@ -1,0 +1,96 @@
+"""End-to-end assertions of the paper's qualitative claims (DESIGN.md C1-C7).
+
+These run the six kernels at the quick scale on the paper's 16-node
+machine; runs are memoized across tests, so the module costs roughly one
+base + one NC + one SC sweep.  Shapes — who wins and in what direction —
+must match the paper; absolute magnitudes are recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments.common import run
+from repro.system.config import KB
+from repro.system.presets import base_config, netcache_config, switch_cache_config
+
+HIGH_SHARING = ("FWA", "GS", "GE", "MM")
+
+
+def improvement(app: str, config) -> float:
+    base = run(app, "quick", base_config())
+    other = run(app, "quick", config)
+    return 1 - other.exec_time / base.exec_time
+
+
+def remote_reduction(app: str, config) -> float:
+    base = run(app, "quick", base_config()).stats.reads_at_remote_memory()
+    other = run(app, "quick", config).stats.reads_at_remote_memory()
+    return 1 - other / base if base else 0.0
+
+
+class TestClaimC1RemoteReadReduction:
+    @pytest.mark.parametrize("app", HIGH_SHARING)
+    def test_substantial_reduction_for_sharing_apps(self, app):
+        assert remote_reduction(app, switch_cache_config(size=2 * KB)) > 0.40
+
+    def test_fft_unaffected(self):
+        assert remote_reduction("FFT", switch_cache_config(size=2 * KB)) == 0.0
+
+
+class TestClaimC2ExecutionTime:
+    @pytest.mark.parametrize("app", HIGH_SHARING)
+    def test_sharing_apps_speed_up(self, app):
+        assert improvement(app, switch_cache_config(size=2 * KB)) > 0.01
+
+    def test_no_app_slows_down_materially(self):
+        for app in ("FWA", "GS", "GE", "MM", "SOR", "FFT"):
+            assert improvement(app, switch_cache_config(size=2 * KB)) > -0.01
+
+
+class TestClaimC3ReadStall:
+    @pytest.mark.parametrize("app", HIGH_SHARING)
+    def test_read_stall_reduced(self, app):
+        base = run(app, "quick", base_config()).stats.total_read_stall()
+        sc = run(app, "quick", switch_cache_config(size=2 * KB)).stats.total_read_stall()
+        assert sc < base
+
+
+class TestClaimC4SmallCacheSufficient:
+    @pytest.mark.parametrize("app", HIGH_SHARING)
+    def test_512b_achieves_most_of_the_benefit(self, app):
+        small = improvement(app, switch_cache_config(size=512))
+        large = improvement(app, switch_cache_config(size=4 * KB))
+        assert small > 0
+        assert small >= 0.6 * large
+
+
+class TestClaimC5C6SharingDetermination:
+    def test_fft_gets_no_switch_hits(self):
+        record = run("FFT", "quick", switch_cache_config(size=2 * KB))
+        assert record.stats.read_counts["switch"] == 0
+
+    @pytest.mark.parametrize("app", HIGH_SHARING)
+    def test_sharing_apps_get_switch_hits(self, app):
+        record = run(app, "quick", switch_cache_config(size=2 * KB))
+        assert record.stats.read_counts["switch"] > 0
+
+    def test_benefit_ranking_follows_sharing_degree(self):
+        fwa = improvement("FWA", switch_cache_config(size=2 * KB))
+        fft = improvement("FFT", switch_cache_config(size=2 * KB))
+        assert fwa > fft
+
+
+class TestClaimC7SwitchBeatsNetworkCache:
+    @pytest.mark.parametrize("app", HIGH_SHARING)
+    def test_switch_cache_outperforms_network_cache(self, app):
+        sc = improvement(app, switch_cache_config(size=2 * KB))
+        nc = improvement(app, netcache_config())
+        assert sc > nc
+
+
+class TestRunHealth:
+    @pytest.mark.parametrize("app", ("FWA", "GS", "GE", "MM", "SOR", "FFT"))
+    @pytest.mark.parametrize("config_fn", (base_config,
+                                           lambda: switch_cache_config(size=2 * KB)))
+    def test_every_run_is_coherent(self, app, config_fn):
+        record = run(app, "quick", config_fn())
+        assert record.coherence_violations == 0

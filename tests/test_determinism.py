@@ -1,0 +1,81 @@
+"""Reproducibility: identical configurations produce identical runs.
+
+The simulator is advertised as a pure function of (config, workload) —
+deterministic event ordering, seeded randomness only.  These tests run
+the same machine twice and require bit-identical statistics.
+"""
+
+import pytest
+
+from repro.apps import GaussianElimination, UniformRandom
+from repro.system.config import SystemConfig
+from repro.system.machine import Machine
+
+
+def snapshot(stats):
+    return (
+        stats.exec_time,
+        dict(stats.read_counts),
+        dict(stats.read_latency),
+        dict(stats.switch_hits_by_stage),
+        stats.writes_completed,
+        stats.upgrades_completed,
+        dict(stats.finish_times),
+    )
+
+
+CONFIGS = {
+    "base": dict(num_nodes=4, l1_size=1024, l2_size=4096),
+    "switch-cache": dict(num_nodes=4, l1_size=1024, l2_size=4096,
+                         switch_cache_size=1024),
+    "netcache": dict(num_nodes=4, l1_size=1024, l2_size=4096,
+                     netcache_size=4096),
+    "cluster": dict(num_nodes=2, procs_per_node=2, l1_size=1024,
+                    l2_size=4096),
+    "mesi": dict(num_nodes=4, l1_size=1024, l2_size=4096, protocol="mesi"),
+    "random-replacement": dict(num_nodes=4, l1_size=1024, l2_size=4096,
+                               switch_cache_size=512,
+                               switch_cache_replacement="random"),
+}
+
+
+@pytest.mark.parametrize("label", sorted(CONFIGS))
+def test_ge_runs_identically_twice(label):
+    runs = []
+    for _ in range(2):
+        machine = Machine(SystemConfig(**CONFIGS[label]))
+        stats = machine.run(GaussianElimination(n=12))
+        runs.append(snapshot(stats))
+    assert runs[0] == runs[1]
+
+
+def test_seeded_random_workload_is_deterministic():
+    runs = []
+    for _ in range(2):
+        machine = Machine(SystemConfig(num_nodes=4, l1_size=1024,
+                                       l2_size=4096, switch_cache_size=512))
+        stats = machine.run(UniformRandom(ops_per_proc=80, nbytes=4096,
+                                          seed=7))
+        runs.append(snapshot(stats))
+    assert runs[0] == runs[1]
+
+
+def test_different_seeds_differ():
+    results = []
+    for seed in (1, 2):
+        machine = Machine(SystemConfig(num_nodes=4, l1_size=1024,
+                                       l2_size=4096))
+        stats = machine.run(UniformRandom(ops_per_proc=80, nbytes=4096,
+                                          seed=seed))
+        results.append(snapshot(stats))
+    assert results[0] != results[1]
+
+
+def test_event_counts_match_across_runs():
+    counts = []
+    for _ in range(2):
+        machine = Machine(SystemConfig(num_nodes=4, l1_size=1024,
+                                       l2_size=4096, switch_cache_size=1024))
+        machine.run(GaussianElimination(n=10))
+        counts.append(machine.sim.events_fired)
+    assert counts[0] == counts[1]

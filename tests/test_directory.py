@@ -1,0 +1,124 @@
+"""Unit tests for the full-map directory."""
+
+import pytest
+
+from repro.cache.states import DirState
+from repro.coherence.directory import Directory
+from repro.errors import ProtocolError
+
+
+def make_dir():
+    return Directory(node_id=0, block_size=64)
+
+
+def test_entries_default_unowned():
+    d = make_dir()
+    entry = d.entry(0x100)
+    assert entry.state is DirState.UNOWNED
+    assert entry.sharers == set()
+    assert entry.owner is None
+    assert entry.version == 0
+
+
+def test_entry_is_block_granular():
+    d = make_dir()
+    d.entry(0x100).version = 5
+    assert d.entry(0x100 + 63).version == 5
+    assert d.entry(0x100 + 64).version == 0
+
+
+def test_peek_does_not_create():
+    d = make_dir()
+    assert d.peek(0x100) is None
+    d.entry(0x100)
+    assert d.peek(0x100) is not None
+
+
+def test_add_sharer_moves_to_shared():
+    d = make_dir()
+    d.add_sharer(0x100, 3)
+    entry = d.entry(0x100)
+    assert entry.state is DirState.SHARED
+    assert entry.sharers == {3}
+
+
+def test_add_multiple_sharers():
+    d = make_dir()
+    for node in (1, 2, 5):
+        d.add_sharer(0x100, node)
+    assert d.entry(0x100).sharers == {1, 2, 5}
+
+
+def test_add_sharer_on_modified_raises():
+    d = make_dir()
+    d.set_owner(0x100, 4)
+    with pytest.raises(ProtocolError):
+        d.add_sharer(0x100, 3)
+
+
+def test_set_owner_clears_sharers():
+    d = make_dir()
+    d.add_sharer(0x100, 1)
+    d.add_sharer(0x100, 2)
+    d.set_owner(0x100, 7, version=3)
+    entry = d.entry(0x100)
+    assert entry.state is DirState.MODIFIED
+    assert entry.owner == 7
+    assert entry.sharers == set()
+    assert entry.version == 3
+
+
+def test_set_owner_preserves_version_when_none():
+    d = make_dir()
+    d.entry(0x100).version = 9
+    d.set_owner(0x100, 2)
+    assert d.entry(0x100).version == 9
+
+
+def test_writeback_from_owner():
+    d = make_dir()
+    d.set_owner(0x100, 2)
+    d.writeback(0x100, 2, version=10)
+    entry = d.entry(0x100)
+    assert entry.state is DirState.UNOWNED
+    assert entry.owner is None
+    assert entry.version == 10
+
+
+def test_writeback_from_non_owner_raises():
+    d = make_dir()
+    d.set_owner(0x100, 2)
+    with pytest.raises(ProtocolError):
+        d.writeback(0x100, 3, version=10)
+
+
+def test_writeback_on_shared_raises():
+    d = make_dir()
+    d.add_sharer(0x100, 1)
+    with pytest.raises(ProtocolError):
+        d.writeback(0x100, 1, version=10)
+
+
+def test_clear_sharers():
+    d = make_dir()
+    d.add_sharer(0x100, 1)
+    d.add_sharer(0x100, 2)
+    cleared = d.clear_sharers(0x100)
+    assert cleared == {1, 2}
+    entry = d.entry(0x100)
+    assert entry.state is DirState.UNOWNED
+    assert entry.sharers == set()
+
+
+def test_entries_iteration():
+    d = make_dir()
+    d.add_sharer(0x100, 1)
+    d.add_sharer(0x200, 2)
+    blocks = {block for block, _e in d.entries()}
+    assert blocks == {0x100, 0x200}
+
+
+def test_version_of():
+    d = make_dir()
+    d.entry(0x140).version = 4
+    assert d.version_of(0x150) == 4

@@ -1,0 +1,84 @@
+"""Tests for the experiment harness (registry, static tables, CLI)."""
+
+import pytest
+
+from repro.experiments import APP_ORDER, APP_SCALES, EXPERIMENTS, make_app, run_experiment
+from repro.experiments.cli import build_parser, main
+from repro.experiments.common import RunRecord, run
+from repro.system.presets import base_config
+
+
+class TestRegistry:
+    def test_all_design_md_experiments_present(self):
+        expected = {"T1", "T2", "F3", "F4", "F5",
+                    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+                    "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_every_entry_has_title_and_runner(self):
+        for exp_id, (title, runner) in EXPERIMENTS.items():
+            assert title
+            assert callable(runner)
+
+    def test_app_scales_cover_all_apps(self):
+        for scale in ("quick", "full"):
+            assert set(APP_SCALES[scale]) == set(APP_ORDER)
+
+    def test_make_app_instantiates(self):
+        app = make_app("GE", "quick")
+        assert app.name == "GE"
+        assert app.n == APP_SCALES["quick"]["GE"]["n"]
+
+
+class TestStaticExperiments:
+    def test_t1_rows(self):
+        result = run_experiment("T1")
+        assert result.exp_id == "T1"
+        assert "snoop" in result.text
+        # wider output width -> fewer cycles
+        hits = {r[1]: r[3] for r in result.data["rows"] if r[0] == "regular read hit"}
+        assert hits["256-bit"] < hits["128-bit"] < hits["64-bit"]
+
+    def test_t2_lists_all_apps(self):
+        result = run_experiment("T2")
+        for name in APP_ORDER:
+            assert name in result.text
+        assert "release consistency" in result.text
+
+
+class TestRunMemoization:
+    def test_run_returns_record(self):
+        record = run("GE", "quick", base_config())
+        assert isinstance(record, RunRecord)
+        assert record.exec_time > 0
+        assert record.coherence_violations == 0
+
+    def test_run_is_memoized(self):
+        first = run("GE", "quick", base_config())
+        second = run("GE", "quick", base_config())
+        assert first is second
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E5" in out and "T2" in out
+
+    def test_run_requires_selection(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "--exp", "E99"]) == 2
+
+    def test_run_single_static(self, capsys):
+        assert main(["run", "--exp", "T1"]) == 0
+        out = capsys.readouterr().out
+        assert "CAESAR" in out
+
+    def test_parser_scale_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--all", "--scale", "full"])
+        assert args.scale == "full"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--scale", "huge"])

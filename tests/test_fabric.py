@@ -1,0 +1,198 @@
+"""Tests for the BMIN fabric: timing, tracing, and CAESAR integration."""
+
+import pytest
+
+from repro.core.caesar import CaesarEngine
+from repro.core.switchcache import SwitchCacheGeometry
+from repro.errors import NetworkError
+from repro.network.fabric import Fabric
+from repro.network.message import Message, MsgKind, flits_for
+from repro.network.topology import BminTopology
+from repro.sim.engine import Simulator
+
+
+def make_fabric(n=16, with_caches=False):
+    sim = Simulator()
+    fabric = Fabric(sim, BminTopology(n))
+    inbox = {node: [] for node in range(n)}
+    for node in range(n):
+        fabric.attach_node(node, lambda m, nid=node: inbox[nid].append(m))
+    if with_caches:
+        fabric.install_cache_engines(
+            lambda sid: CaesarEngine(sim, sid, SwitchCacheGeometry(size=2048))
+        )
+    return sim, fabric, inbox
+
+
+def send(fabric, kind, src, dst, addr=0x40, data=None, block=64):
+    msg = Message(kind, src, dst, addr, flits_for(kind, block), data=data)
+    fabric.inject(msg)
+    return msg
+
+
+class TestBasicDelivery:
+    def test_message_delivered_to_destination(self):
+        sim, fabric, inbox = make_fabric()
+        msg = send(fabric, MsgKind.READ, 0, 15)
+        sim.run()
+        assert inbox[15] == [msg]
+        assert fabric.stats.msgs_delivered == 1
+
+    def test_local_injection_rejected(self):
+        _sim, fabric, _inbox = make_fabric()
+        with pytest.raises(NetworkError):
+            send(fabric, MsgKind.READ, 3, 3)
+
+    def test_trace_matches_topology_path(self):
+        sim, fabric, _inbox = make_fabric()
+        msg = send(fabric, MsgKind.READ, 2, 13)
+        sim.run()
+        assert msg.trace == fabric.topo.path(2, 13)
+
+    def test_uncontended_latency_formula(self):
+        sim, fabric, _inbox = make_fabric()
+        msg = send(fabric, MsgKind.READ, 0, 1)  # single switch
+        sim.run()
+        # inject link (1 flit = 4 cyc serialization, header enters switch at
+        # 4), switch delay 4, ejection link 1 flit: tail at 8+4 = 12
+        assert msg.injected_at == 0
+        assert msg.delivered_at == 12
+
+    def test_longer_path_costs_more(self):
+        sim, fabric, _inbox = make_fabric()
+        near = send(fabric, MsgKind.READ, 0, 1)
+        far = send(fabric, MsgKind.READ, 0, 15)
+        sim.run()
+        assert far.delivered_at > near.delivered_at
+
+    def test_data_message_serialization_dominates(self):
+        sim, fabric, _inbox = make_fabric()
+        msg = send(fabric, MsgKind.DATA_S, 0, 1, data=1)
+        sim.run()
+        # 9 flits * 4 cycles on the ejection link alone
+        assert msg.delivered_at >= 9 * 4
+
+    def test_missing_handler_raises(self):
+        sim = Simulator()
+        fabric = Fabric(sim, BminTopology(4))
+        send(fabric, MsgKind.READ, 0, 3)
+        with pytest.raises(NetworkError):
+            sim.run()
+
+    def test_fifo_same_path(self):
+        sim, fabric, inbox = make_fabric()
+        first = send(fabric, MsgKind.DATA_S, 0, 15, data=1)
+        second = send(fabric, MsgKind.READ, 0, 15)
+        sim.run()
+        assert inbox[15] == [first, second]
+
+
+class TestSwitchCacheIntegration:
+    def test_deposit_then_intercept(self):
+        sim, fabric, inbox = make_fabric(with_caches=True)
+        # a DATA_S reply from node 15 (acting as home) to node 0 passes
+        # through switches and deposits its block
+        send(fabric, MsgKind.DATA_S, 15, 0, addr=0x40, data=7)
+        sim.run()
+        assert fabric.stats.switch_hits == 0
+        deposited = fabric.switch_cache_blocks()
+        assert any(addr == 0x40 and v == 7 for _sid, addr, v in deposited)
+        # a READ for the same block from node 1 toward home 15 now hits
+        request = send(fabric, MsgKind.READ, 1, 15, addr=0x40)
+        sim.run()
+        assert fabric.stats.switch_hits == 1
+        # node 1 received a fabricated DATA_S with the deposited payload
+        replies = [m for m in inbox[1] if m.kind is MsgKind.DATA_S]
+        assert len(replies) == 1
+        assert replies[0].data == 7
+        assert replies[0].payload["served_by"] == "switch"
+        # the original request arrived at the home as a DIR_UPDATE
+        updates = [m for m in inbox[15] if m.kind is MsgKind.DIR_UPDATE]
+        assert updates == [request]
+        assert request.payload["requester"] == 1
+
+    def test_inv_purges_deposited_copies(self):
+        sim, fabric, inbox = make_fabric(with_caches=True)
+        send(fabric, MsgKind.DATA_S, 15, 0, addr=0x40, data=7)
+        sim.run()
+        assert fabric.switch_cache_blocks()
+        # the home invalidates sharer 0: the INV walks the same path
+        send(fabric, MsgKind.INV, 15, 0, addr=0x40)
+        sim.run()
+        assert fabric.switch_cache_blocks() == []
+        # a later read misses everywhere and reaches the home intact
+        request = send(fabric, MsgKind.READ, 1, 15, addr=0x40)
+        sim.run()
+        assert request.kind is MsgKind.READ
+        assert request in inbox[15]
+
+    def test_reply_from_switch_deposits_downstream(self):
+        sim, fabric, _inbox = make_fabric(with_caches=True)
+        send(fabric, MsgKind.DATA_S, 15, 0, addr=0x40, data=7)
+        sim.run()
+        deposited = {sid for sid, _a, _v in fabric.switch_cache_blocks()}
+        # pick a requester whose path to the home joins the deposited tree
+        # only after several hops, so the fabricated reply has a tail of
+        # switches to walk back through (node 5 for the 16-node butterfly)
+        requester = 5
+        path = fabric.topo.path(requester, 15)
+        first_common = next(i for i, sid in enumerate(path) if sid in deposited)
+        assert first_common > 0
+        before = len(fabric.switch_cache_blocks())
+        send(fabric, MsgKind.READ, requester, 15, addr=0x40)
+        sim.run()
+        # the reply retraced the request and deposited at every switch of
+        # the traversed prefix
+        after = len(fabric.switch_cache_blocks())
+        assert after == before + first_common
+
+    def test_data_x_never_deposited(self):
+        sim, fabric, _inbox = make_fabric(with_caches=True)
+        send(fabric, MsgKind.DATA_X, 15, 0, addr=0x40, data=7)
+        sim.run()
+        assert fabric.switch_cache_blocks() == []
+
+    def test_dir_update_flit_shrink(self):
+        sim, fabric, _inbox = make_fabric(with_caches=True)
+        send(fabric, MsgKind.DATA_S, 15, 0, addr=0x40, data=7)
+        sim.run()
+        request = send(fabric, MsgKind.READ, 1, 15, addr=0x40)
+        sim.run()
+        assert request.kind is MsgKind.DIR_UPDATE
+        assert request.flits == 1
+
+    def test_stage_attribution(self):
+        sim, fabric, _inbox = make_fabric(with_caches=True)
+        send(fabric, MsgKind.DATA_S, 15, 0, addr=0x40, data=7)
+        sim.run()
+        send(fabric, MsgKind.READ, 1, 15, addr=0x40)
+        sim.run()
+        assert sum(fabric.stats.hits_by_stage.values()) == 1
+        (stage,) = fabric.stats.hits_by_stage
+        assert 0 <= stage < fabric.topo.stages
+
+    def test_intercept_only_for_reads(self):
+        sim, fabric, inbox = make_fabric(with_caches=True)
+        send(fabric, MsgKind.DATA_S, 15, 0, addr=0x40, data=7)
+        sim.run()
+        readx = send(fabric, MsgKind.READX, 1, 15, addr=0x40)
+        sim.run()
+        assert readx.kind is MsgKind.READX  # not converted
+        assert readx in inbox[15]
+        assert fabric.stats.switch_hits == 0
+
+
+class TestInjectionQueueing:
+    def test_injection_link_serializes(self):
+        sim, fabric, _inbox = make_fabric()
+        a = send(fabric, MsgKind.DATA_S, 0, 15, data=1)
+        b = send(fabric, MsgKind.DATA_S, 0, 15, data=2)
+        sim.run()
+        assert b.injected_at >= a.injected_at + a.flits * 4
+
+    def test_injection_queue_delay_stat(self):
+        sim, fabric, _inbox = make_fabric()
+        for _ in range(4):
+            send(fabric, MsgKind.DATA_S, 0, 15, data=1)
+        sim.run()
+        assert fabric.injection_queue_delay() > 0

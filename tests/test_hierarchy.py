@@ -1,0 +1,126 @@
+"""Unit tests for the L1+L2 cache hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.states import LineState
+
+
+def make_hierarchy():
+    return CacheHierarchy(l1_size=512, l2_size=2048, block_size=64)
+
+
+class TestRead:
+    def test_miss_on_empty(self):
+        h = make_hierarchy()
+        result = h.read(0x100)
+        assert result.level == "miss"
+        assert not result.hit
+
+    def test_l2_hit_refills_l1(self):
+        h = make_hierarchy()
+        h.fill(0x100, LineState.SHARED, 3)
+        first = h.read(0x100)
+        assert first.level == "l2"
+        assert first.data == 3
+        second = h.read(0x100)
+        assert second.level == "l1"
+        assert second.data == 3
+
+    def test_l1_hits_within_block(self):
+        h = make_hierarchy()
+        h.fill(0x100, LineState.SHARED, 3)
+        h.read(0x100)
+        assert h.read(0x100 + 56).level == "l1"
+
+    def test_modified_line_readable(self):
+        h = make_hierarchy()
+        h.fill(0x100, LineState.MODIFIED, 9)
+        assert h.read(0x100).level == "l2"
+
+
+class TestWrite:
+    def test_write_miss(self):
+        h = make_hierarchy()
+        assert h.write_probe(0x100).action == "miss"
+
+    def test_write_needs_upgrade_on_shared(self):
+        h = make_hierarchy()
+        h.fill(0x100, LineState.SHARED, 1)
+        assert h.write_probe(0x100).action == "upgrade"
+
+    def test_write_hit_on_modified(self):
+        h = make_hierarchy()
+        h.fill(0x100, LineState.MODIFIED, 1)
+        assert h.write_probe(0x100).action == "hit"
+
+    def test_perform_write_updates_l2_and_l1(self):
+        h = make_hierarchy()
+        h.fill(0x100, LineState.MODIFIED, 1)
+        h.read(0x100)  # pull into L1
+        h.perform_write(0x100, 2)
+        assert h.read(0x100).data == 2  # L1 hit sees new data
+        assert h.l2.probe(0x100).data == 2
+
+    def test_perform_write_without_ownership_raises(self):
+        h = make_hierarchy()
+        h.fill(0x100, LineState.SHARED, 1)
+        with pytest.raises(KeyError):
+            h.perform_write(0x100, 2)
+
+    def test_upgrade(self):
+        h = make_hierarchy()
+        h.fill(0x100, LineState.SHARED, 1)
+        h.upgrade(0x100)
+        assert h.state_of(0x100) is LineState.MODIFIED
+
+
+class TestFillVictims:
+    def test_clean_victim_dropped_silently(self):
+        h = CacheHierarchy(l1_size=128, l2_size=128, block_size=64, l2_assoc=1)
+        h.fill(0, LineState.SHARED, 1)
+        victim = h.fill(128, LineState.SHARED, 2)  # same direct-mapped set
+        assert victim is None
+        assert h.state_of(0) is LineState.INVALID
+
+    def test_dirty_victim_returned(self):
+        h = CacheHierarchy(l1_size=128, l2_size=128, block_size=64, l2_assoc=1)
+        h.fill(0, LineState.MODIFIED, 7)
+        victim = h.fill(128, LineState.SHARED, 2)
+        assert victim == (0, 7)
+
+    def test_inclusion_l1_purged_on_l2_eviction(self):
+        h = CacheHierarchy(l1_size=256, l2_size=128, block_size=64, l2_assoc=1)
+        h.fill(0, LineState.SHARED, 1)
+        h.read(0)  # now in L1
+        h.fill(128, LineState.SHARED, 2)  # evicts block 0 from L2
+        assert h.l1.probe(0) is None
+
+
+class TestProtocolSide:
+    def test_invalidate_both_levels(self):
+        h = make_hierarchy()
+        h.fill(0x100, LineState.SHARED, 1)
+        h.read(0x100)
+        former = h.invalidate(0x100)
+        assert former == (LineState.SHARED, 1)
+        assert h.read(0x100).level == "miss"
+
+    def test_invalidate_absent(self):
+        h = make_hierarchy()
+        assert h.invalidate(0x100) is None
+
+    def test_downgrade_returns_data(self):
+        h = make_hierarchy()
+        h.fill(0x100, LineState.MODIFIED, 11)
+        assert h.downgrade(0x100) == 11
+        assert h.state_of(0x100) is LineState.SHARED
+
+    def test_downgrade_without_ownership_raises(self):
+        h = make_hierarchy()
+        with pytest.raises(KeyError):
+            h.downgrade(0x100)
+
+    def test_state_of_absent_is_invalid(self):
+        h = make_hierarchy()
+        assert h.state_of(0x500) is LineState.INVALID

@@ -1,0 +1,214 @@
+"""Direct unit tests of the node-side coherence controller."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.states import LineState
+from repro.coherence.l2ctrl import NodeController
+from repro.coherence.messages import make_message
+from repro.errors import ProtocolError
+from repro.memory.netcache import NetworkCache
+from repro.memory.nic import NetworkInterface
+from repro.network.message import MsgKind
+from repro.sim.engine import Simulator
+
+NODE = 1
+HOME = 0
+BLOCK = 0x40
+
+
+class Harness:
+    def __init__(self, netcache=False):
+        self.sim = Simulator()
+        self.hierarchy = CacheHierarchy(512, 2048, 64, node_id=NODE)
+        self.sent = []
+        ni = NetworkInterface.__new__(NetworkInterface)  # transport stub
+        ni.sim = self.sim
+        ni.node_id = NODE
+        ni.send = lambda msg, at=None: self.sent.append(msg)
+        nc = NetworkCache(self.sim, NODE) if netcache else None
+        self.ctrl = NodeController(
+            self.sim, NODE, self.hierarchy, ni,
+            home_of=lambda addr: HOME, block_size=64, netcache=nc,
+        )
+        self.completed = []
+
+    def deliver(self, kind, **kw):
+        msg = make_message(kind, HOME, NODE, BLOCK, 64, **kw)
+        self.ctrl.receive(msg)
+        return msg
+
+    def issue_read(self):
+        return self.ctrl.issue_read(BLOCK, self.completed.append)
+
+    def issue_write(self):
+        return self.ctrl.issue_write(BLOCK, self.completed.append)
+
+
+class TestReads:
+    def test_read_sends_request_and_fills_on_reply(self):
+        h = Harness()
+        txn = h.issue_read()
+        assert h.sent[0].kind is MsgKind.READ
+        h.deliver(MsgKind.DATA_S, data=4, transaction=txn)
+        assert h.completed == [txn]
+        assert txn.data == 4
+        line = h.hierarchy.l2.probe(BLOCK)
+        assert line.state is LineState.SHARED and line.data == 4
+        # demand fill reaches L1 too
+        assert h.hierarchy.l1.probe(BLOCK) is not None
+
+    def test_mshr_conflict_raises(self):
+        h = Harness()
+        h.issue_read()
+        with pytest.raises(ProtocolError):
+            h.issue_read()
+
+    def test_unmatched_reply_raises(self):
+        h = Harness()
+        with pytest.raises(ProtocolError):
+            h.deliver(MsgKind.DATA_S, data=1)
+
+    def test_served_by_classification(self):
+        h = Harness()
+        txn = h.issue_read()
+        h.deliver(MsgKind.DATA_S, data=0,
+                  payload={"served_by": "switch", "served_stage": 2})
+        assert txn.served_by == "switch"
+        assert txn.served_stage == 2
+
+
+class TestLateInvalidation:
+    def test_inv_during_pending_read_marks_use_once(self):
+        h = Harness()
+        txn = h.issue_read()
+        h.deliver(MsgKind.INV)
+        assert txn.pending_inval
+        # the ack went back immediately
+        assert h.sent[-1].kind is MsgKind.INV_ACK
+        h.deliver(MsgKind.DATA_S, data=3)
+        assert h.completed  # processor got its data...
+        assert h.hierarchy.l2.probe(BLOCK) is None  # ...but nothing cached
+        assert h.ctrl.late_invals == 1
+
+    def test_no_ack_inv_sends_nothing(self):
+        h = Harness()
+        h.hierarchy.fill(BLOCK, LineState.SHARED, 0)
+        h.deliver(MsgKind.INV, payload={"no_ack": True})
+        assert h.sent == []
+        assert h.hierarchy.l2.probe(BLOCK) is None
+
+    def test_purge_only_inv_keeps_l2_copy(self):
+        h = Harness()
+        h.hierarchy.fill(BLOCK, LineState.SHARED, 0)
+        h.deliver(MsgKind.INV, payload={"purge_only": True})
+        assert h.hierarchy.l2.probe(BLOCK) is not None
+        assert h.sent[-1].kind is MsgKind.INV_ACK
+
+    def test_purge_only_inv_purges_netcache(self):
+        h = Harness(netcache=True)
+        h.ctrl.netcache.fill(BLOCK, 0)
+        h.hierarchy.fill(BLOCK, LineState.SHARED, 0)
+        h.deliver(MsgKind.INV, payload={"purge_only": True})
+        assert h.ctrl.netcache.array.probe(BLOCK) is None
+
+
+class TestWritesAndUpgrades:
+    def test_write_miss_issues_readx(self):
+        h = Harness()
+        h.issue_write()
+        assert h.sent[0].kind is MsgKind.READX
+
+    def test_shared_copy_issues_upgrade(self):
+        h = Harness()
+        h.hierarchy.fill(BLOCK, LineState.SHARED, 2)
+        h.issue_write()
+        assert h.sent[0].kind is MsgKind.UPGRADE
+
+    def test_upgr_ack_promotes_line(self):
+        h = Harness()
+        h.hierarchy.fill(BLOCK, LineState.SHARED, 2)
+        h.issue_write()
+        h.deliver(MsgKind.UPGR_ACK)
+        assert h.hierarchy.state_of(BLOCK) is LineState.MODIFIED
+        assert h.completed
+
+    def test_upgr_ack_without_copy_raises(self):
+        h = Harness()
+        h.hierarchy.fill(BLOCK, LineState.SHARED, 2)
+        h.issue_write()
+        h.hierarchy.invalidate(BLOCK)
+        with pytest.raises(ProtocolError):
+            h.deliver(MsgKind.UPGR_ACK)
+
+    def test_data_x_fills_modified(self):
+        h = Harness()
+        h.issue_write()
+        h.deliver(MsgKind.DATA_X, data=6)
+        line = h.hierarchy.l2.probe(BLOCK)
+        assert line.state is LineState.MODIFIED and line.data == 6
+
+
+class TestRecalls:
+    def test_recall_downgrades_and_returns_data(self):
+        h = Harness()
+        h.hierarchy.fill(BLOCK, LineState.MODIFIED, 9)
+        h.deliver(MsgKind.RECALL)
+        reply = h.sent[-1]
+        assert reply.kind is MsgKind.RECALL_REPLY and reply.data == 9
+        assert h.hierarchy.state_of(BLOCK) is LineState.SHARED
+
+    def test_recall_x_invalidates(self):
+        h = Harness()
+        h.hierarchy.fill(BLOCK, LineState.MODIFIED, 9)
+        h.deliver(MsgKind.RECALL_X)
+        assert h.hierarchy.state_of(BLOCK) is LineState.INVALID
+        assert h.sent[-1].data == 9
+
+    def test_recall_after_eviction_answers_no_data(self):
+        h = Harness()
+        h.deliver(MsgKind.RECALL)
+        reply = h.sent[-1]
+        assert reply.kind is MsgKind.RECALL_REPLY
+        assert reply.payload["no_data"]
+
+
+class TestVictimSpill:
+    def test_dirty_victim_spills_writeback(self):
+        h = Harness()
+        # direct-mapped tiny L2 to force conflict
+        h.hierarchy = CacheHierarchy(128, 128, 64, l2_assoc=1, node_id=NODE)
+        h.ctrl.hierarchy = h.hierarchy
+        h.hierarchy.fill(0, LineState.MODIFIED, 5)
+        txn = h.ctrl.issue_read(128, h.completed.append)  # same set
+        reply = make_message(MsgKind.DATA_S, HOME, NODE, 128, 64, data=0,
+                             transaction=txn)
+        h.ctrl.receive(reply)
+        wbs = [m for m in h.sent if m.kind is MsgKind.WRITEBACK]
+        assert len(wbs) == 1
+        assert wbs[0].addr == 0 and wbs[0].data == 5
+
+
+class TestNetcachePath:
+    def test_nc_hit_skips_network(self):
+        h = Harness(netcache=True)
+        h.ctrl.netcache.fill(BLOCK, 3)
+        txn = h.issue_read()
+        h.sim.run()
+        assert h.sent == []  # no READ message left the node
+        assert txn.served_by == "netcache"
+        assert h.completed == [txn]
+        assert h.hierarchy.l2.probe(BLOCK).data == 3
+
+    def test_nc_miss_adds_probe_latency(self):
+        h = Harness(netcache=True)
+        h.issue_read()
+        # the READ was handed to the NI with a deferred send; our stub
+        # records it immediately, but the txn must exist in the MSHR
+        assert h.ctrl.outstanding == 1
+
+    def test_remote_fill_populates_netcache(self):
+        h = Harness(netcache=True)
+        h.issue_read()
+        h.deliver(MsgKind.DATA_S, data=2)
+        assert h.ctrl.netcache.array.probe(BLOCK).data == 2

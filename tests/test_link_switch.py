@@ -1,0 +1,106 @@
+"""Unit tests for links and the crossbar switch timing model."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.link import Link
+from repro.network.switch import Switch
+from repro.sim.engine import Simulator
+
+
+class TestLink:
+    def test_serialization_time(self):
+        sim = Simulator()
+        link = Link(sim, "l", cycles_per_flit=4)
+        grant, tail = link.reserve(flits=9, earliest=0)
+        assert grant == 0
+        assert tail == 36
+
+    def test_fifo_grants(self):
+        sim = Simulator()
+        link = Link(sim, "l", cycles_per_flit=4)
+        g1, t1 = link.reserve(2, earliest=0)
+        g2, t2 = link.reserve(2, earliest=0)
+        assert (g1, t1) == (0, 8)
+        assert (g2, t2) == (8, 16)
+
+    def test_earliest_respected(self):
+        sim = Simulator()
+        link = Link(sim, "l")
+        grant, _tail = link.reserve(1, earliest=100)
+        assert grant == 100
+
+    def test_stats(self):
+        sim = Simulator()
+        link = Link(sim, "l")
+        link.reserve(3, earliest=0)
+        link.reserve(2, earliest=0)
+        assert link.msgs == 2
+        assert link.flits == 5
+
+
+class TestSwitch:
+    def test_add_and_get_output(self):
+        sim = Simulator()
+        sw = Switch(sim, (1, 0))
+        link = sw.add_output((2, 0))
+        assert sw.output_to((2, 0)) is link
+        assert sw.has_output((2, 0))
+
+    def test_duplicate_output_rejected(self):
+        sim = Simulator()
+        sw = Switch(sim, (1, 0))
+        sw.add_output((2, 0))
+        with pytest.raises(NetworkError):
+            sw.add_output((2, 0))
+
+    def test_missing_output_raises(self):
+        sim = Simulator()
+        sw = Switch(sim, (1, 0))
+        with pytest.raises(NetworkError):
+            sw.output_to((9, 9))
+
+    def test_forward_timing_uncontended(self):
+        sim = Simulator()
+        sw = Switch(sim, (1, 0), switch_delay=4, cycles_per_flit=4)
+        sw.add_output((2, 0))
+        grant, header_next, tail_done = sw.forward(9, (2, 0), header_at=100)
+        # arbitration+crossbar = 4 cycles, then the header takes one flit
+        # time to cross; the tail clears after 9 flit times
+        assert grant == 104
+        assert header_next == 108
+        assert tail_done == 104 + 36
+
+    def test_forward_contention_serializes(self):
+        sim = Simulator()
+        sw = Switch(sim, (1, 0))
+        sw.add_output((2, 0))
+        g1, _h1, t1 = sw.forward(9, (2, 0), header_at=0)
+        g2, _h2, _t2 = sw.forward(9, (2, 0), header_at=0)
+        assert g2 == t1  # second worm waits for the first to clear the link
+
+    def test_forward_different_outputs_independent(self):
+        sim = Simulator()
+        sw = Switch(sim, (1, 0))
+        sw.add_output((2, 0))
+        sw.add_output((2, 1))
+        g1, _h, _t = sw.forward(9, (2, 0), header_at=0)
+        g2, _h, _t = sw.forward(9, (2, 1), header_at=0)
+        assert g1 == g2 == 4
+
+    def test_stats_accumulate(self):
+        sim = Simulator()
+        sw = Switch(sim, (1, 0))
+        sw.add_output((2, 0))
+        sw.forward(9, (2, 0), header_at=0)
+        sw.forward(1, (2, 0), header_at=0)
+        assert sw.msgs_routed == 2
+        assert sw.flits_routed == 10
+
+    def test_node_port_output(self):
+        sim = Simulator()
+        sw = Switch(sim, (0, 0))
+        sw.add_output(1)  # ejection port to node 1
+        grant, _h, tail = sw.forward(9, 1, header_at=10)
+        assert grant == 14
+        assert tail == 14 + 36

@@ -1,0 +1,203 @@
+"""Tests for the MESI protocol extension (clean-exclusive state).
+
+MESI is this repository's implementation of the protocol-variant future
+work: a sole reader receives the block EXCLUSIVE, writes it with a silent
+E->M promotion (no upgrade transaction), and notifies the home on clean
+eviction so the directory's owner tracking stays exact.
+"""
+
+import pytest
+
+from repro.cache.states import DirState, LineState
+from repro.errors import ConfigError
+from repro.system.config import SystemConfig
+from repro.system.machine import Machine
+
+from conftest import (
+    ScriptedApp,
+    assert_coherent,
+    assert_monotonic_reads,
+    run_scripted,
+    tiny_config,
+)
+
+
+def mesi_config(**overrides):
+    overrides.setdefault("protocol", "mesi")
+    return tiny_config(**overrides)
+
+
+class TestExclusiveGrant:
+    def test_sole_reader_gets_exclusive(self):
+        app = ScriptedApp({1: [("r", ("blk", 0))]}, blocks=1, home=0)
+        machine = Machine(mesi_config())
+        machine.run(app)
+        block = app.block_addrs[0]
+        assert machine.nodes[1].hierarchy.state_of(block) is LineState.EXCLUSIVE
+        entry = machine.nodes[0].directory.peek(block)
+        assert entry.state is DirState.MODIFIED
+        assert entry.owner == 1
+        assert machine.nodes[0].home_ctrl.exclusive_grants == 1
+        assert_coherent(machine)
+
+    def test_msi_machine_never_grants_exclusive(self):
+        app = ScriptedApp({1: [("r", ("blk", 0))]}, blocks=1, home=0)
+        machine = Machine(tiny_config())
+        machine.run(app)
+        block = app.block_addrs[0]
+        assert machine.nodes[1].hierarchy.state_of(block) is LineState.SHARED
+        assert machine.nodes[0].home_ctrl.exclusive_grants == 0
+
+    def test_second_reader_downgrades_to_shared(self):
+        app = ScriptedApp(
+            {
+                1: [("r", ("blk", 0)), ("barrier", 1)],
+                2: [("barrier", 1), ("r", ("blk", 0))],
+                0: [("barrier", 1)],
+                3: [("barrier", 1)],
+            },
+            blocks=1, home=0,
+        )
+        machine = Machine(mesi_config())
+        machine.run(app)
+        block = app.block_addrs[0]
+        assert machine.nodes[1].hierarchy.state_of(block) is LineState.SHARED
+        assert machine.nodes[2].hierarchy.state_of(block) is LineState.SHARED
+        entry = machine.nodes[0].directory.peek(block)
+        assert entry.state is DirState.SHARED
+        assert entry.sharers == {1, 2}
+        assert_coherent(machine)
+
+
+class TestSilentUpgrade:
+    def test_read_then_write_needs_no_transaction(self):
+        app = ScriptedApp(
+            {1: [("r", ("blk", 0)), ("w", ("blk", 0))]}, blocks=1, home=0
+        )
+        machine = Machine(mesi_config())
+        machine.run(app)
+        block = app.block_addrs[0]
+        ctrl = machine.nodes[1].l2ctrl
+        assert ctrl.upgrades_issued == 0  # the MSI machine would issue one
+        assert ctrl.writes_issued == 0
+        line = machine.nodes[1].hierarchy.l2.probe(block)
+        assert line.state is LineState.MODIFIED
+        assert line.data == 1
+        assert_coherent(machine)
+
+    def test_msi_counterpart_issues_upgrade(self):
+        app = ScriptedApp(
+            {1: [("r", ("blk", 0)), ("w", ("blk", 0))]}, blocks=1, home=0
+        )
+        machine = Machine(tiny_config())
+        machine.run(app)
+        assert machine.nodes[1].l2ctrl.upgrades_issued == 1
+
+    def test_silently_promoted_data_recalled_correctly(self):
+        app = ScriptedApp(
+            {
+                1: [("r", ("blk", 0)), ("w", ("blk", 0)), ("barrier", 1)],
+                2: [("barrier", 1), ("r", ("blk", 0))],
+                0: [("barrier", 1)],
+                3: [("barrier", 1)],
+            },
+            blocks=1, home=0,
+        )
+        machine = Machine(mesi_config())
+        machine.run(app)
+        block = app.block_addrs[0]
+        reads = [v for _op, a, v, _t in machine.nodes[2].processor.value_trace
+                 if a == block]
+        assert reads == [1]  # sees the silently-written version
+        assert_coherent(machine)
+
+
+class TestCleanEviction:
+    def test_exclusive_eviction_notifies_home(self):
+        config = mesi_config(l2_size=1024, l2_assoc=1, l1_size=512)
+        scripts = {1: [("r", ("blk", i)) for i in range(32)]}
+        machine, _stats = run_scripted(scripts, config=config, blocks=32, home=0)
+        # every evicted E line sent a replacement notification, so the
+        # directory holds no stale owners
+        stale_owners = [
+            (block, entry.owner)
+            for block, entry in machine.nodes[0].directory.entries()
+            if entry.state is DirState.MODIFIED
+            and machine.nodes[entry.owner].hierarchy.l2.probe(block) is None
+        ]
+        assert stale_owners == []
+        assert machine.nodes[1].l2ctrl.writebacks_sent > 0
+        assert_coherent(machine)
+
+    def test_reread_after_clean_eviction(self):
+        config = mesi_config(l2_size=1024, l2_assoc=1, l1_size=512)
+        scripts = {1: [("r", ("blk", i)) for i in range(32)]
+                   + [("r", ("blk", 0))]}
+        machine, _stats = run_scripted(scripts, config=config, blocks=32, home=0)
+        assert_coherent(machine)
+
+
+class TestRecallOfExclusive:
+    def test_remote_write_recalls_clean_exclusive(self):
+        app = ScriptedApp(
+            {
+                1: [("r", ("blk", 0)), ("barrier", 1)],
+                2: [("barrier", 1), ("w", ("blk", 0))],
+                0: [("barrier", 1)],
+                3: [("barrier", 1)],
+            },
+            blocks=1, home=0,
+        )
+        machine = Machine(mesi_config())
+        machine.run(app)
+        block = app.block_addrs[0]
+        assert machine.nodes[1].hierarchy.state_of(block) is LineState.INVALID
+        line = machine.nodes[2].hierarchy.l2.probe(block)
+        assert line.state is LineState.MODIFIED
+        assert line.data == 1
+        assert_coherent(machine)
+
+
+class TestMesiWithSwitchCaches:
+    def test_exclusive_replies_never_deposited(self):
+        app = ScriptedApp({1: [("r", ("blk", 0))]}, blocks=1, home=0)
+        machine = Machine(mesi_config(switch_cache_size=1024))
+        machine.run(app)
+        block = app.block_addrs[0]
+        copies = [a for _sid, a, _v in machine.fabric.switch_cache_blocks()
+                  if a == block]
+        assert copies == []  # DATA_E is not switch-cacheable
+
+    def test_downgraded_shared_replies_are_deposited(self):
+        app = ScriptedApp(
+            {
+                1: [("r", ("blk", 0)), ("barrier", 1), ("barrier", 2)],
+                2: [("barrier", 1), ("r", ("blk", 0)), ("barrier", 2)],
+                3: [("barrier", 1), ("barrier", 2), ("r", ("blk", 0))],
+                0: [("barrier", 1), ("barrier", 2)],
+            },
+            blocks=1, home=0,
+        )
+        machine = Machine(mesi_config(switch_cache_size=1024))
+        stats = machine.run(app)
+        # reader 2 triggered a recall and got DATA_S (deposited); reader 3
+        # can then be served in-network
+        assert stats.read_counts["switch"] >= 1
+        assert_coherent(machine)
+
+    def test_full_apps_run_coherently_under_mesi(self):
+        from repro.apps import GaussianElimination
+
+        machine = Machine(mesi_config(switch_cache_size=1024))
+        machine.run(GaussianElimination(n=10))
+        assert_coherent(machine)
+        assert_monotonic_reads(machine)
+
+
+class TestConfigValidation:
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(protocol="mosi")
+
+    def test_default_is_msi(self):
+        assert SystemConfig().protocol == "msi"

@@ -1,0 +1,74 @@
+"""Unit tests for the wire-level message model."""
+
+from repro.network.message import FLIT_BYTES, Message, MsgKind, flits_for
+
+
+class TestKinds:
+    def test_data_kinds_carry_data(self):
+        assert MsgKind.DATA_S.carries_data
+        assert MsgKind.DATA_X.carries_data
+        assert MsgKind.RECALL_REPLY.carries_data
+        assert MsgKind.WRITEBACK.carries_data
+
+    def test_control_kinds_do_not_carry_data(self):
+        for kind in (MsgKind.READ, MsgKind.READX, MsgKind.UPGRADE,
+                     MsgKind.INV, MsgKind.INV_ACK, MsgKind.UPGR_ACK,
+                     MsgKind.RECALL, MsgKind.RECALL_X, MsgKind.DIR_UPDATE):
+            assert not kind.carries_data
+
+    def test_only_clean_shared_data_is_switch_cacheable(self):
+        assert MsgKind.DATA_S.switch_cacheable
+        for kind in MsgKind:
+            if kind is not MsgKind.DATA_S:
+                assert not kind.switch_cacheable
+
+    def test_only_reads_interceptable(self):
+        assert MsgKind.READ.interceptable
+        assert not MsgKind.READX.interceptable
+        assert not MsgKind.UPGRADE.interceptable
+
+    def test_only_invalidations_snoop(self):
+        assert MsgKind.INV.snoops_switch_caches
+        for kind in MsgKind:
+            if kind is not MsgKind.INV:
+                assert not kind.snoops_switch_caches
+
+
+class TestFlits:
+    def test_control_message_is_one_flit(self):
+        assert flits_for(MsgKind.READ, 64) == 1
+        assert flits_for(MsgKind.INV, 64) == 1
+        assert flits_for(MsgKind.DIR_UPDATE, 64) == 1
+
+    def test_data_message_length_scales_with_block(self):
+        assert flits_for(MsgKind.DATA_S, 64) == 1 + 64 // FLIT_BYTES
+        assert flits_for(MsgKind.DATA_S, 32) == 1 + 4
+        assert flits_for(MsgKind.WRITEBACK, 128) == 1 + 16
+
+
+class TestMessage:
+    def test_ids_are_unique(self):
+        a = Message(MsgKind.READ, 0, 1, 0x40, 1)
+        b = Message(MsgKind.READ, 0, 1, 0x40, 1)
+        assert a.id != b.id
+
+    def test_header_fields_follow_fig9(self):
+        msg = Message(MsgKind.READ, src=3, dst=7, addr=0x1C0, flits=1)
+        header = msg.header_fields()
+        assert header["src"] == 3
+        assert header["dst"] == 7
+        assert header["addr"] == 0x1C0
+        assert header["type"] == list(MsgKind).index(MsgKind.READ)
+
+    def test_default_payload_is_independent(self):
+        a = Message(MsgKind.READ, 0, 1, 0, 1)
+        b = Message(MsgKind.READ, 0, 1, 0, 1)
+        a.payload["x"] = 1
+        assert "x" not in b.payload
+
+    def test_timestamps_unset_initially(self):
+        msg = Message(MsgKind.READ, 0, 1, 0, 1)
+        assert msg.created_at == -1
+        assert msg.injected_at == -1
+        assert msg.delivered_at == -1
+        assert msg.trace == []

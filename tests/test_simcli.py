@@ -1,0 +1,110 @@
+"""Tests for the repro-sim command-line interface."""
+
+import pytest
+
+from repro.simcli import build_parser, main
+
+
+class TestParser:
+    def test_app_and_trace_mutually_exclusive(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--app", "GE", "--trace", "x.trace"])
+
+    def test_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--design", "sc"])
+
+    def test_design_choices(self):
+        args = build_parser().parse_args(["--app", "GE", "--design", "sc+"])
+        assert args.design == "sc+"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--app", "GE", "--design", "huge"])
+
+    def test_bad_param_rejected_at_run(self):
+        with pytest.raises(SystemExit):
+            main(["--app", "GE", "--param", "nonsense"])
+
+
+class TestRuns:
+    def test_base_run(self, capsys):
+        rc = main(["--app", "GE", "--param", "n=8", "--nodes", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "execution time:" in out
+        assert "design: base" in out
+
+    def test_switch_cache_run_verbose(self, capsys):
+        rc = main(["--app", "GE", "--param", "n=12", "--nodes", "4",
+                   "--design", "sc", "--sc-size", "1024", "--verbose"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "switch caches:" in out
+        assert "switch" in out
+
+    def test_netcache_run(self, capsys):
+        rc = main(["--app", "MM", "--param", "n=8", "--nodes", "4",
+                   "--design", "nc"])
+        assert rc == 0
+        assert "design: NC-" in capsys.readouterr().out
+
+    def test_mesi_run(self, capsys):
+        rc = main(["--app", "SOR", "--param", "n=12", "--param",
+                   "iterations=1", "--nodes", "4", "--protocol", "mesi"])
+        assert rc == 0
+        assert "protocol: mesi" in capsys.readouterr().out
+
+    def test_record_then_replay(self, tmp_path, capsys):
+        trace = str(tmp_path / "ge.trace")
+        rc = main(["--app", "GE", "--param", "n=8", "--nodes", "4",
+                   "--record", trace])
+        assert rc == 0
+        assert "recorded" in capsys.readouterr().out
+        rc = main(["--trace", trace, "--nodes", "4", "--design", "sc",
+                   "--sc-size", "512"])
+        assert rc == 0
+        assert "execution time:" in capsys.readouterr().out
+
+
+class TestMachineSummary:
+    def test_summary_renders_after_run(self):
+        from repro.apps import GaussianElimination
+        from repro.system.config import SystemConfig
+        from repro.system.machine import Machine
+
+        machine = Machine(SystemConfig(num_nodes=4, l1_size=1024,
+                                       l2_size=4096, switch_cache_size=512))
+        machine.run(GaussianElimination(n=8))
+        text = machine.summary()
+        assert "execution time:" in text
+        assert "switch caches:" in text
+        assert "Read latency by service class" in text
+
+    def test_summary_before_run(self):
+        from repro.system.config import SystemConfig
+        from repro.system.machine import Machine
+
+        machine = Machine(SystemConfig(num_nodes=4))
+        text = machine.summary()
+        assert "machine:" in text
+
+
+class TestExperimentsJsonExport:
+    def test_json_written_and_parseable(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main as exp_main
+
+        rc = exp_main(["run", "--exp", "T1", "--json", str(tmp_path)])
+        assert rc == 0
+        payload = json.loads((tmp_path / "T1.json").read_text())
+        assert payload["id"] == "T1"
+        assert payload["data"]["rows"]
+
+    def test_tuple_keys_stringified(self):
+        from repro.experiments.cli import _jsonify
+
+        data = {("GE", 64): {"x": 1}, "plain": [1, (2, 3)]}
+        out = _jsonify(data)
+        assert out["GE|64"] == {"x": 1}
+        assert out["plain"] == [1, [2, 3]]

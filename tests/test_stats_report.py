@@ -1,0 +1,129 @@
+"""Tests for statistics aggregation and report rendering."""
+
+from repro.coherence.messages import Transaction
+from repro.stats.counters import MachineStats
+from repro.stats.report import format_series, format_table, percent
+
+
+def read_txn(node=1, home=0, addr=0x40, served_by="remote_mem", stage=None,
+             issued=0, completed=100, data=0):
+    txn = Transaction("read", addr, node, home, 64, issued)
+    txn.completed_at = completed
+    txn.served_by = served_by
+    txn.served_stage = stage
+    txn.data = data
+    return txn
+
+
+class TestMachineStats:
+    def test_read_hit_recording(self):
+        stats = MachineStats(4)
+        stats.record_read_hit(0, "l1")
+        stats.record_read_hit(0, "l2")
+        stats.record_read_hit(1, "wb")
+        assert stats.read_counts["l1"] == 1
+        assert stats.total_reads() == 3
+        assert stats.per_node_reads[0] == 2
+
+    def test_read_txn_recording(self):
+        stats = MachineStats(4)
+        stats.record_read_txn(1, read_txn(), stall=80)
+        assert stats.read_counts["remote_mem"] == 1
+        assert stats.read_latency["remote_mem"] == 80
+        assert stats.mean_latency("remote_mem") == 80.0
+
+    def test_switch_stage_attribution(self):
+        stats = MachineStats(4)
+        stats.record_read_txn(1, read_txn(served_by="switch", stage=2), 50)
+        stats.record_read_txn(1, read_txn(served_by="switch", stage=2), 50)
+        assert stats.switch_hits_by_stage == {2: 2}
+
+    def test_remote_reads_classification(self):
+        stats = MachineStats(4)
+        stats.record_read_hit(0, "l1")
+        stats.record_read_txn(0, read_txn(served_by="local_mem"), 60)
+        stats.record_read_txn(0, read_txn(served_by="remote_mem"), 120)
+        stats.record_read_txn(0, read_txn(served_by="owner"), 150)
+        stats.record_read_txn(0, read_txn(served_by="switch", stage=1), 70)
+        assert stats.remote_reads() == 3
+        assert stats.reads_at_remote_memory() == 2
+        assert stats.shared_reads() == 4
+
+    def test_service_distribution_sums_to_one(self):
+        stats = MachineStats(4)
+        stats.record_read_hit(0, "l1")
+        stats.record_read_txn(0, read_txn(), 100)
+        dist = stats.service_distribution()
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+
+    def test_service_distribution_empty(self):
+        dist = MachineStats(4).service_distribution()
+        assert all(v == 0.0 for v in dist.values())
+
+    def test_finish_times_set_exec_time(self):
+        stats = MachineStats(2)
+        stats.record_finish(0, 500)
+        assert stats.exec_time is None
+        stats.record_finish(1, 900)
+        assert stats.exec_time == 900
+
+    def test_write_txn_recording(self):
+        stats = MachineStats(4)
+        txn = Transaction("write", 0x40, 1, 0, 64, 0)
+        txn.completed_at = 200
+        stats.record_write_txn(1, txn)
+        up = Transaction("upgrade", 0x80, 1, 0, 64, 0)
+        up.completed_at = 100
+        stats.record_write_txn(1, up)
+        assert stats.writes_completed == 1
+        assert stats.upgrades_completed == 1
+        assert stats.write_latency == 300
+
+    def test_sharing_histogram(self):
+        stats = MachineStats(4)
+        stats.record_read_txn(0, read_txn(addr=0x40, data=0), 10)
+        stats.record_read_txn(1, read_txn(node=1, addr=0x40, data=0), 10)
+        stats.record_read_txn(2, read_txn(node=2, addr=0x80, data=0), 10)
+        hist = stats.sharing_histogram(4)
+        assert hist[2] == 2  # two reads to the 2-reader block
+        assert hist[1] == 1
+        assert 1.0 < stats.mean_sharing_degree() < 2.0
+
+    def test_ideal_global_cache_tracking(self):
+        stats = MachineStats(4)
+        stats.record_read_txn(0, read_txn(addr=0x40, data=0), 10)
+        stats.record_read_txn(1, read_txn(node=1, addr=0x40, data=0), 10)
+        stats.record_read_txn(2, read_txn(node=2, addr=0x40, data=1), 10)
+        assert stats.ideal_global_hits == 1
+        assert stats.ideal_global_misses == 2
+        assert abs(stats.ideal_global_hit_rate() - 1 / 3) < 1e-9
+
+    def test_mean_remote_read_latency(self):
+        stats = MachineStats(4)
+        stats.record_read_txn(0, read_txn(served_by="remote_mem"), 100)
+        stats.record_read_txn(0, read_txn(served_by="switch", stage=0), 40)
+        assert stats.mean_remote_read_latency() == 70.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bbbb"), [(1, 2.5), ("xx", 3)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_format_table_with_title(self):
+        text = format_table(("x",), [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_format_series(self):
+        text = format_series("GE", [1, 2], [0.5, 0.25])
+        assert text == "GE: (1, 0.500) (2, 0.250)"
+
+    def test_percent(self):
+        assert percent(0.4567) == "45.7%"
+
+    def test_float_formatting_large_values(self):
+        text = format_table(("v",), [(12345.678,)])
+        assert "12345.7" in text

@@ -1,0 +1,270 @@
+"""Integration tests of the full switch-cache protocol on live machines.
+
+These exercise the paper's central mechanisms end to end: in-network read
+service, directory updates for switch-served reads, path snooping on
+invalidations (including the writer's purge-only invalidation), and the
+corrective invalidation for the dir-update/write race — always finishing
+with the whole-machine coherence audit.
+"""
+
+import pytest
+
+from repro.cache.states import DirState
+from repro.system.machine import Machine
+
+from conftest import (
+    ScriptedApp,
+    assert_coherent,
+    assert_monotonic_reads,
+    tiny_config,
+)
+
+
+def sc_config(**overrides):
+    overrides.setdefault("switch_cache_size", 1024)
+    return tiny_config(**overrides)
+
+
+def run_app(app, config):
+    machine = Machine(config)
+    stats = machine.run(app)
+    return machine, stats
+
+
+class TestInNetworkService:
+    def test_second_reader_served_by_switch(self):
+        # proc 1 reads (populates switches on home->1), then proc 3 reads;
+        # in the 4-node BMIN both paths share the turnaround switch
+        app = ScriptedApp(
+            {
+                1: [("r", ("blk", 0)), ("barrier", 1)],
+                3: [("barrier", 1), ("r", ("blk", 0))],
+                0: [("barrier", 1)],
+                2: [("barrier", 1)],
+            },
+            blocks=1,
+            home=0,
+        )
+        machine, stats = run_app(app, sc_config())
+        assert stats.read_counts["switch"] == 1
+        assert stats.read_counts["remote_mem"] == 1
+        # the switch-served reader still appears in the directory
+        entry = machine.nodes[0].directory.peek(app.block_addrs[0])
+        assert entry.sharers == {1, 3}
+        assert machine.nodes[0].home_ctrl.dir_updates == 1
+        assert_coherent(machine)
+
+    def test_switch_served_value_is_correct(self):
+        app = ScriptedApp(
+            {
+                2: [("w", ("blk", 0)), ("barrier", 1), ("barrier", 2)],
+                1: [("barrier", 1), ("r", ("blk", 0)), ("barrier", 2)],
+                3: [("barrier", 1), ("barrier", 2), ("r", ("blk", 0))],
+                0: [("barrier", 1), ("barrier", 2)],
+            },
+            blocks=1,
+            home=0,
+        )
+        machine, stats = run_app(app, sc_config())
+        block = app.block_addrs[0]
+        reads_3 = [v for _op, a, v, _t in machine.nodes[3].processor.value_trace
+                   if a == block]
+        assert reads_3 == [1]  # the written version, not a stale one
+        assert_monotonic_reads(machine)
+        assert_coherent(machine)
+
+    def test_base_machine_has_no_switch_hits(self):
+        app = ScriptedApp(
+            {p: [("r", ("blk", 0))] for p in range(4)}, blocks=1, home=0
+        )
+        _machine, stats = run_app(app, tiny_config())
+        assert stats.read_counts["switch"] == 0
+
+
+class TestInvalidationCoverage:
+    def test_write_purges_switch_copies_of_all_sharers(self):
+        app = ScriptedApp(
+            {
+                1: [("r", ("blk", 0)), ("barrier", 1), ("barrier", 2)],
+                3: [("r", ("blk", 0)), ("barrier", 1), ("barrier", 2)],
+                2: [("barrier", 1), ("w", ("blk", 0)), ("barrier", 2)],
+                0: [("barrier", 1), ("barrier", 2)],
+            },
+            blocks=1,
+            home=0,
+        )
+        machine, _stats = run_app(app, sc_config())
+        block = app.block_addrs[0]
+        leftovers = [
+            (sid, a) for sid, a, _v in machine.fabric.switch_cache_blocks()
+            if a == block
+        ]
+        assert leftovers == []
+        totals = machine.switch_cache_stats()
+        assert totals["purges"] >= 1
+        assert_coherent(machine)
+
+    def test_upgrade_sends_purge_only_inv_to_writer(self):
+        # proc 1 reads (deposits on path home->1) then upgrades; the home
+        # must clean that same path even though proc 1 keeps its L2 copy
+        app = ScriptedApp(
+            {1: [("r", ("blk", 0)), ("w", ("blk", 0))]}, blocks=1, home=0
+        )
+        machine, _stats = run_app(app, sc_config())
+        block = app.block_addrs[0]
+        assert machine.nodes[1].l2ctrl.upgrades_issued == 1
+        # no stale copy of the block survives anywhere in the network
+        stale = [a for _sid, a, _v in machine.fabric.switch_cache_blocks()
+                 if a == block]
+        assert stale == []
+        # the writer still owns its line (purge_only did not invalidate it)
+        entry = machine.nodes[0].directory.peek(block)
+        assert entry.state is DirState.MODIFIED and entry.owner == 1
+        assert_coherent(machine)
+
+    def test_switch_cache_is_useful_after_purge_and_rewrite(self):
+        app = ScriptedApp(
+            {
+                1: [("r", ("blk", 0)), ("barrier", 1), ("barrier", 2),
+                    ("r", ("blk", 0)), ("barrier", 3)],
+                2: [("barrier", 1), ("w", ("blk", 0)), ("barrier", 2),
+                    ("barrier", 3)],
+                3: [("barrier", 1), ("barrier", 2), ("barrier", 3),
+                    ("r", ("blk", 0))],
+                0: [("barrier", 1), ("barrier", 2), ("barrier", 3)],
+            },
+            blocks=1,
+            home=0,
+        )
+        machine, _stats = run_app(app, sc_config())
+        block = app.block_addrs[0]
+        reads_3 = [v for _op, a, v, _t in machine.nodes[3].processor.value_trace
+                   if a == block]
+        assert reads_3 == [1]
+        assert_monotonic_reads(machine)
+        assert_coherent(machine)
+
+
+class TestDirUpdateRace:
+    @pytest.mark.parametrize("padding", [0, 40, 80, 120, 160, 200, 240, 280])
+    def test_race_between_switch_hit_and_write(self, padding):
+        """A read races a write to the same block with varying skew.
+
+        Depending on the padding the read may be served by a switch just
+        before/after the invalidation passes; whatever interleaving
+        occurs, the machine must quiesce coherent and each processor's
+        observed versions stay monotonic.
+        """
+        app = ScriptedApp(
+            {
+                1: [("r", ("blk", 0)), ("barrier", 1)],
+                2: [("barrier", 1), ("w", ("blk", 0))],
+                3: [("barrier", 1), ("work", padding), ("r", ("blk", 0))],
+                0: [("barrier", 1)],
+            },
+            blocks=1,
+            home=0,
+        )
+        machine, _stats = run_app(app, sc_config())
+        assert_coherent(machine)
+        assert_monotonic_reads(machine)
+
+    def test_corrective_inv_counter_fires_somewhere(self):
+        """Across the skew sweep at least one interleaving should exercise
+        the corrective-invalidation path (dir-update arriving at a
+        MODIFIED entry)."""
+        fired = 0
+        for padding in range(0, 400, 25):
+            app = ScriptedApp(
+                {
+                    1: [("r", ("blk", 0)), ("barrier", 1)],
+                    2: [("barrier", 1), ("w", ("blk", 0))],
+                    3: [("barrier", 1), ("work", padding), ("r", ("blk", 0))],
+                    0: [("barrier", 1)],
+                },
+                blocks=1,
+                home=0,
+            )
+            machine, _stats = run_app(app, sc_config())
+            fired += machine.nodes[0].home_ctrl.corrective_invs
+            assert_coherent(machine)
+        assert fired >= 1
+
+
+class TestConfigurationKnobs:
+    def test_stage_restriction_respected(self):
+        app = ScriptedApp(
+            {
+                1: [("r", ("blk", 0)), ("barrier", 1)],
+                3: [("barrier", 1), ("r", ("blk", 0))],
+                0: [("barrier", 1)],
+                2: [("barrier", 1)],
+            },
+            blocks=1,
+            home=0,
+        )
+        machine, stats = run_app(
+            app, sc_config(switch_cache_stages={1})
+        )
+        # stage-0 engines disabled: any hits must be attributed to stage 1
+        for stage in stats.switch_hits_by_stage:
+            assert stage == 1
+        assert_coherent(machine)
+
+    def test_banked_geometry_runs_coherently(self):
+        app = ScriptedApp(
+            {p: [("r", ("blk", b)) for b in range(4)] for p in range(4)},
+            blocks=4,
+            home=0,
+        )
+        machine, _stats = run_app(
+            app, sc_config(switch_cache_banks=2)
+        )
+        assert_coherent(machine)
+
+    def test_tiny_cache_evicts_but_stays_coherent(self):
+        app = ScriptedApp(
+            {p: [("r", ("blk", b)) for b in range(16)] for p in range(1, 4)},
+            blocks=16,
+            home=0,
+        )
+        machine, _stats = run_app(
+            app, sc_config(switch_cache_size=128, switch_cache_assoc=1)
+        )
+        assert_coherent(machine)
+
+
+class TestNetworkCacheComparator:
+    def test_netcache_serves_refetch_after_eviction(self):
+        # small L2 forces eviction; the network cache still holds the block
+        config = tiny_config(
+            netcache_size=4096, l2_size=512, l2_assoc=1, l1_size=256
+        )
+        scripts = {1: [("r", ("blk", i)) for i in range(16)]
+                   + [("r", ("blk", 0))]}
+        app = ScriptedApp(scripts, blocks=16, home=0)
+        machine, stats = run_app(app, config)
+        assert stats.read_counts["netcache"] >= 1
+        assert_coherent(machine)
+
+    def test_netcache_invalidated_on_write(self):
+        config = tiny_config(netcache_size=4096)
+        app = ScriptedApp(
+            {
+                1: [("r", ("blk", 0)), ("barrier", 1), ("barrier", 2)],
+                2: [("barrier", 1), ("w", ("blk", 0)), ("barrier", 2)],
+                0: [("barrier", 1), ("barrier", 2)],
+                3: [("barrier", 1), ("barrier", 2)],
+            },
+            blocks=1,
+            home=0,
+        )
+        machine, _stats = run_app(app, config)
+        assert machine.nodes[1].netcache.inv_purges >= 1
+        assert_coherent(machine)
+
+    def test_netcache_never_holds_local_blocks(self):
+        config = tiny_config(netcache_size=4096)
+        app = ScriptedApp({0: [("r", ("blk", 0))]}, blocks=1, home=0)
+        machine, _stats = run_app(app, config)
+        assert machine.nodes[0].netcache.fills == 0

@@ -1,0 +1,123 @@
+"""Unit tests for the CAESAR SRAM timing model (geometry, ports, banks)."""
+
+import pytest
+
+from repro.core.switchcache import SwitchCacheGeometry, SwitchCacheSRAM
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+
+
+class TestGeometry:
+    def test_data_cycles_scale_with_width(self):
+        assert SwitchCacheGeometry(block_size=64, output_width_bits=64).data_cycles == 8
+        assert SwitchCacheGeometry(block_size=64, output_width_bits=128).data_cycles == 4
+        assert SwitchCacheGeometry(block_size=64, output_width_bits=256).data_cycles == 2
+
+    def test_paper_example_32b_block_64b_width(self):
+        # "a cache with 32-byte blocks and a width of 64 bits will provide
+        # 64 of 256 bits in each cache cycle" -> 4 cycles per block
+        geo = SwitchCacheGeometry(size=1024, block_size=32, output_width_bits=64)
+        assert geo.data_cycles == 4
+
+    @pytest.mark.parametrize("banks", [3, 5, 8])
+    def test_bad_bank_counts_rejected(self, banks):
+        with pytest.raises(ConfigError):
+            SwitchCacheGeometry(banks=banks)
+
+    def test_width_must_divide_block(self):
+        with pytest.raises(ConfigError):
+            SwitchCacheGeometry(block_size=64, output_width_bits=192)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigError):
+            SwitchCacheGeometry(output_width_bits=60)
+
+    def test_bank_selection_interleaves_blocks(self):
+        geo = SwitchCacheGeometry(banks=2, block_size=64)
+        assert geo.bank_of(0) == 0
+        assert geo.bank_of(64) == 1
+        assert geo.bank_of(128) == 0
+
+    def test_describe_names_design(self):
+        assert "CAESAR+" in SwitchCacheGeometry(banks=2).describe()
+        assert "CAESAR+" not in SwitchCacheGeometry(banks=1).describe()
+
+
+class TestSramTiming:
+    def make(self, **kw):
+        sim = Simulator()
+        return sim, SwitchCacheSRAM(sim, SwitchCacheGeometry(size=2048, **kw))
+
+    def test_miss_costs_tag_only(self):
+        _sim, sram = self.make()
+        data, done = sram.read(0x40)
+        assert data is None
+        assert done == 1  # one tag cycle
+
+    def test_hit_costs_tag_plus_stream(self):
+        _sim, sram = self.make(output_width_bits=64)
+        sram.write(0x40, 5)
+        # write occupied tag [?] and data; a fresh read queues behind
+        data, done = sram.read(0x40)
+        assert data == 5
+        assert done >= 1 + 8  # tag + 8 data cycles minimum
+
+    def test_wider_output_is_faster(self):
+        _s1, narrow = self.make(output_width_bits=64)
+        _s2, wide = self.make(output_width_bits=256)
+        narrow.write(0x40, 1)
+        wide.write(0x40, 1)
+        _d1, done_narrow = narrow.read(0x40)
+        _d2, done_wide = wide.read(0x40)
+        assert done_wide < done_narrow
+
+    def test_banked_requests_overlap(self):
+        _sim, sram = self.make(banks=2)
+        sram.write(0, 1)      # bank 0
+        sram.write(64, 2)     # bank 1
+        # both writes' data streams overlap: the second is not delayed by
+        # a full block time relative to the first
+        free0 = sram.data_ports[0].free_at()
+        free1 = sram.data_ports[1].free_at()
+        assert abs(free0 - free1) <= sram.geo.tag_cycles
+
+    def test_single_bank_requests_serialize(self):
+        _sim, sram = self.make(banks=1)
+        sram.write(0, 1)
+        sram.write(64, 2)
+        assert sram.data_ports[0].busy_cycles == 2 * sram.geo.data_cycles
+
+    def test_snoop_uses_separate_port(self):
+        _sim, sram = self.make()
+        sram.write(0x40, 1)
+        tag_busy_before = sram.tag_port.busy_cycles
+        purged, _done = sram.snoop_invalidate(0x40)
+        assert purged
+        assert sram.tag_port.busy_cycles == tag_busy_before
+
+    def test_snoop_miss_is_one_cycle(self):
+        _sim, sram = self.make()
+        purged, done = sram.snoop_invalidate(0x80)
+        assert not purged
+        assert done == 1
+
+    def test_snoop_purge_costs_extra_cycle(self):
+        _sim, sram = self.make()
+        sram.write(0x40, 1)
+        purged, done = sram.snoop_invalidate(0x40)
+        assert purged
+        assert done == 2
+
+    def test_backlog_reporting(self):
+        _sim, sram = self.make()
+        assert sram.tag_backlog() == 0
+        sram.read(0x40)
+        assert sram.tag_backlog() == 1
+        sram.write(0x80, 1)
+        assert sram.data_backlog(0x80) > 0
+
+    def test_occupancy(self):
+        _sim, sram = self.make()
+        sram.write(0, 1)
+        sram.write(64, 2)
+        assert sram.occupancy == 2

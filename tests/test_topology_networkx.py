@@ -1,0 +1,62 @@
+"""Cross-validation of turnaround routing against networkx shortest paths."""
+
+import networkx as nx
+import pytest
+
+from repro.network.topology import BminTopology
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32])
+def test_turnaround_paths_are_shortest(n):
+    """The deterministic up-down path never exceeds the graph-theoretic
+    shortest path (butterflies admit equal-length alternatives, but
+    nothing shorter than ascend-to-LCA-and-descend)."""
+    topo = BminTopology(n)
+    graph = topo.to_networkx()
+    for a in range(n):
+        lengths = nx.single_source_shortest_path_length(graph, ("node", a))
+        for b in range(n):
+            if a == b:
+                continue
+            ours = len(topo.path(a, b)) + 1  # + final hop to the node
+            shortest = lengths[("node", b)]
+            assert ours == shortest, (a, b)
+
+
+def test_graph_shape_16():
+    topo = BminTopology(16)
+    graph = topo.to_networkx()
+    switch_vertices = [v for v in graph if v[0] == "sw"]
+    node_vertices = [v for v in graph if v[0] == "node"]
+    assert len(switch_vertices) == 32
+    assert len(node_vertices) == 16
+    # stage-0 switches: 2 nodes + 2 up links; middle: 2 down + 2 up
+    for v in switch_vertices:
+        _tag, stage, _row = v
+        expected = 4 if stage < topo.stages - 1 else 2
+        assert graph.degree(v) == expected
+
+
+def test_graph_is_connected():
+    for n in (4, 16, 64):
+        graph = BminTopology(n).to_networkx()
+        assert nx.is_connected(graph)
+
+
+def test_bisection_scales_linearly():
+    """The BMIN's bisection bandwidth scales with N (the paper's stated
+    reason for choosing a MIN): edges crossing the top-stage cut == N/2
+    per direction of the row space."""
+    for n in (8, 16, 32):
+        topo = BminTopology(n)
+        graph = topo.to_networkx()
+        top = topo.stages - 1
+        # edges between stage top-1 and top whose rows differ in the
+        # highest bit form the bisection
+        crossing = [
+            (u, v) for u, v in graph.edges
+            if u[0] == "sw" and v[0] == "sw"
+            and {u[1], v[1]} == {top - 1, top}
+            and (u[2] ^ v[2]) >> (top - 1)
+        ]
+        assert len(crossing) == topo.rows

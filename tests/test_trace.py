@@ -1,0 +1,141 @@
+"""Tests for the trace-driven front-end (record / replay)."""
+
+import io
+
+import pytest
+
+from repro.apps import GaussianElimination, TraceApplication, TraceRecorder
+from repro.apps.trace import format_op, parse_line
+from repro.errors import ConfigError
+from repro.system.machine import Machine
+
+from conftest import ScriptedApp, assert_coherent, tiny_config
+
+
+class TestLineFormat:
+    def test_memory_ops_hex(self):
+        assert format_op(3, ("r", 0x1C0)) == "3 r 0x1c0"
+        assert format_op(0, ("w", 64)) == "0 w 0x40"
+
+    def test_control_ops_decimal(self):
+        assert format_op(1, ("barrier", 7)) == "1 barrier 7"
+        assert format_op(2, ("work", 100)) == "2 work 100"
+
+    def test_parse_roundtrip(self):
+        for proc, op in [(0, ("r", 0x40)), (3, ("w", 128)),
+                         (1, ("work", 9)), (2, ("barrier", 4)),
+                         (0, ("lock", 1)), (0, ("unlock", 1))]:
+            assert parse_line(format_op(proc, op)) == (proc, op)
+
+    def test_comments_and_blanks_ignored(self):
+        assert parse_line("# a comment") is None
+        assert parse_line("   ") is None
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_line("1 r")
+        with pytest.raises(ConfigError):
+            parse_line("1 frob 0x40")
+
+    def test_unserializable_op_rejected(self):
+        with pytest.raises(ConfigError):
+            format_op(0, ("frob", 1))
+
+
+class TestRecordReplay:
+    def _record(self):
+        machine = Machine(tiny_config())
+        recorder = TraceRecorder(GaussianElimination(n=8))
+        stats = machine.run(recorder)
+        return machine, recorder, stats
+
+    def test_recorder_is_transparent(self):
+        _machine, recorder, stats = self._record()
+        plain = Machine(tiny_config()).run(GaussianElimination(n=8))
+        assert stats.exec_time == plain.exec_time
+
+    def test_replay_reproduces_run_exactly(self):
+        _machine, recorder, original = self._record()
+        replayed = Machine(tiny_config())
+        stats = replayed.run(TraceApplication(recorder.dumps().splitlines()))
+        assert stats.exec_time == original.exec_time
+        assert stats.read_counts == original.read_counts
+        assert_coherent(replayed)
+
+    def test_save_and_load_file(self, tmp_path):
+        _machine, recorder, original = self._record()
+        path = str(tmp_path / "ge.trace")
+        recorder.save(path)
+        stats = Machine(tiny_config()).run(TraceApplication(path))
+        assert stats.exec_time == original.exec_time
+
+    def test_load_from_stream(self):
+        _machine, recorder, original = self._record()
+        stream = io.StringIO(recorder.dumps())
+        stats = Machine(tiny_config()).run(TraceApplication(stream))
+        assert stats.exec_time == original.exec_time
+
+    def test_layout_preserves_homes(self):
+        machine, recorder, _stats = self._record()
+        text = recorder.dumps()
+        replay_machine = Machine(tiny_config())
+        app = TraceApplication(text.splitlines())
+        app.setup(replay_machine)
+        # every recorded address resolves to the same home as the original
+        ge = recorder.app
+        for i in range(8):
+            addr = ge.a.addr(i, 0)
+            assert (replay_machine.space.home_of(addr)
+                    == machine.space.home_of(addr))
+
+    def test_range_headers_present(self):
+        _machine, recorder, _stats = self._record()
+        text = recorder.dumps()
+        assert text.startswith("#repro-trace v1")
+        assert "#range" in text
+
+    def test_replay_on_switch_cache_machine(self):
+        _machine, recorder, _stats = self._record()
+        machine = Machine(tiny_config(switch_cache_size=1024))
+        stats = machine.run(TraceApplication(recorder.dumps().splitlines()))
+        assert stats.read_counts["switch"] > 0
+        assert_coherent(machine)
+
+
+class TestValidation:
+    def test_too_many_processors_rejected(self):
+        trace = ["0 r 0x40", "7 r 0x40"]
+        machine = Machine(tiny_config())  # 4 nodes
+        with pytest.raises(ConfigError):
+            machine.run(TraceApplication(trace))
+
+    def test_layout_restore_requires_fresh_space(self):
+        machine = Machine(tiny_config())
+        machine.space.alloc(64, home=0)
+        trace = ["#range 0x40 0x80 0", "0 r 0x40"]
+        with pytest.raises(ConfigError):
+            TraceApplication(trace).setup(machine)
+
+    def test_bad_layout_row_rejected(self):
+        machine = Machine(tiny_config())
+        trace = ["#range 0x80 0x40 0"]
+        with pytest.raises(ConfigError):
+            TraceApplication(trace).setup(machine)
+
+    def test_raw_trace_without_layout_runs(self):
+        trace = ["0 r 0x4000", "1 w 0x4000", "0 barrier 1", "1 barrier 1",
+                 "2 barrier 1", "3 barrier 1"]
+        machine = Machine(tiny_config())
+        stats = machine.run(TraceApplication(trace))
+        assert stats.total_reads() >= 1
+        assert_coherent(machine)
+
+    def test_scripted_and_trace_equivalence(self):
+        scripts = {p: [("r", ("blk", 0)), ("w", ("blk", 1))] for p in range(4)}
+        machine = Machine(tiny_config())
+        recorder = TraceRecorder(ScriptedApp(scripts, blocks=2, home=0))
+        original = machine.run(recorder)
+        replay = Machine(tiny_config()).run(
+            TraceApplication(recorder.dumps().splitlines())
+        )
+        assert replay.exec_time == original.exec_time
