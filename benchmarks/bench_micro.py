@@ -61,6 +61,39 @@ def test_event_engine_throughput(benchmark):
     assert benchmark(run_10k_events) == 10_000
 
 
+def test_event_engine_cancellation(benchmark):
+    """Timeout-style load: most events are cancelled before they fire.
+
+    Models the simulator's dominant cancellation pattern (speculative
+    wakeups superseded by earlier completions) and exercises the
+    pop-once ``run(until=...)`` loop plus the O(1) ``pending`` counter.
+    """
+
+    def run_with_cancellations():
+        sim = Simulator()
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+
+        # schedule 4 timeouts per step, cancel 3, run in until-windows
+        events = []
+        for step in range(2_000):
+            t = step * 4
+            for slot in range(4):
+                events.append(sim.at(t + slot + 1, tick))
+        for i, event in enumerate(events):
+            if i % 4:
+                event.cancel()
+        horizon = 0
+        while sim.pending:
+            horizon += 512
+            sim.run(until=horizon)
+        return fired[0]
+
+    assert benchmark(run_with_cancellations) == 2_000
+
+
 def test_caesar_deposit_then_hit(benchmark):
     def deposit_and_intercept():
         sim = Simulator()

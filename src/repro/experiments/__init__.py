@@ -1,6 +1,18 @@
 """Per-table/figure experiment harness (see DESIGN.md Sec. 4)."""
 
-from .common import APP_ORDER, APP_SCALES, ExperimentResult, RunRecord, clear_cache, make_app, run
+from .common import (
+    APP_ORDER,
+    APP_SCALES,
+    ExperimentResult,
+    RunRecord,
+    clear_cache,
+    config_key,
+    execute,
+    make_app,
+    run,
+    run_key,
+)
+from .parallel import PLANS, RunSpec, plan, prewarm
 from .registry import EXPERIMENTS, run_experiment
 
 __all__ = [
@@ -9,8 +21,15 @@ __all__ = [
     "ExperimentResult",
     "RunRecord",
     "clear_cache",
+    "config_key",
+    "execute",
     "make_app",
     "run",
+    "run_key",
+    "PLANS",
+    "RunSpec",
+    "plan",
+    "prewarm",
     "EXPERIMENTS",
     "run_experiment",
 ]

@@ -113,9 +113,6 @@ def exp_a4(scale: str = "quick") -> ExperimentResult:
     caching.  Problem size is scaled with the machine so per-processor
     work stays constant.
     """
-    from ..apps import GaussianElimination
-    from ..system.machine import Machine
-
     rows_per_proc = 2 if scale == "quick" else 4
     lines = []
     data: Dict = {}
@@ -124,12 +121,14 @@ def exp_a4(scale: str = "quick") -> ExperimentResult:
     remote_fracs = []
     for n in sizes:
         ge_n = rows_per_proc * n
-        base_stats = Machine(base_config(num_nodes=n)).run(
-            GaussianElimination(n=ge_n)
-        )
-        sc_stats = Machine(switch_cache_config(size=2 * KB, num_nodes=n)).run(
-            GaussianElimination(n=ge_n)
-        )
+        overrides = {"n": ge_n}
+        base_stats = run(
+            "GE", scale, base_config(num_nodes=n), app_overrides=overrides
+        ).stats
+        sc_stats = run(
+            "GE", scale, switch_cache_config(size=2 * KB, num_nodes=n),
+            app_overrides=overrides,
+        ).stats
         improvement = 1 - sc_stats.exec_time / base_stats.exec_time
         total = base_stats.total_reads()
         remote = base_stats.remote_reads()
@@ -197,9 +196,6 @@ def exp_a6(scale: str = "quick") -> ExperimentResult:
     crosses them — retain the advantage.  L2s are shrunk so capacity
     misses exist for the network cache to catch.
     """
-    from ..apps import MatrixMultiply
-    from ..system.machine import Machine
-
     mm_n = 24 if scale == "quick" else 48
     shapes = ((16, 1), (8, 2), (4, 4))
     rows = []
@@ -207,18 +203,25 @@ def exp_a6(scale: str = "quick") -> ExperimentResult:
     # small L2s so the streamed B matrix causes capacity re-fetches —
     # the miss class network caches exist to serve [16][29]
     small = dict(l1_size=512, l2_size=2 * KB)
+    overrides = {"n": mm_n}
     for nodes, ppn in shapes:
-        base = Machine(base_config(num_nodes=nodes, procs_per_node=ppn,
-                                   **small)).run(MatrixMultiply(n=mm_n))
-        nc_machine = Machine(
+        base = run(
+            "MM", scale,
+            base_config(num_nodes=nodes, procs_per_node=ppn, **small),
+            app_overrides=overrides,
+        ).stats
+        nc = run(
+            "MM", scale,
             base_config(num_nodes=nodes, procs_per_node=ppn,
-                        netcache_size=32 * KB, **small)
-        )
-        nc = nc_machine.run(MatrixMultiply(n=mm_n))
-        sc = Machine(
+                        netcache_size=32 * KB, **small),
+            app_overrides=overrides,
+        ).stats
+        sc = run(
+            "MM", scale,
             switch_cache_config(size=2 * KB, num_nodes=nodes,
-                                procs_per_node=ppn, **small)
-        ).run(MatrixMultiply(n=mm_n))
+                                procs_per_node=ppn, **small),
+            app_overrides=overrides,
+        ).stats
         data[(nodes, ppn)] = {
             "nc": nc.exec_time / base.exec_time,
             "sc": sc.exec_time / base.exec_time,
@@ -319,20 +322,17 @@ def exp_a8(scale: str = "quick") -> ExperimentResult:
         data[label] = {"fabric": fast_t, "flit_ref": ref_t}
         rows.append((label, fast_t, ref_t, f"{fast_t / ref_t:.3f}"))
     # end-to-end: a full application run on a 4-node base machine
-    from ..apps import GaussianElimination
     from ..system.config import SystemConfig
-    from ..system.machine import Machine
 
     for label, sc_size in (("GE n=16 end-to-end", 0),
                             ("GE n=16 + 1KB switch caches", 1024)):
         exec_times = {}
         for model in ("message", "flit"):
-            machine = Machine(SystemConfig(
+            record = run("GE", scale, SystemConfig(
                 num_nodes=4, l1_size=1024, l2_size=4096,
                 switch_cache_size=sc_size, network_model=model,
-            ))
-            stats = machine.run(GaussianElimination(n=16))
-            exec_times[model] = stats.exec_time
+            ), app_overrides={"n": 16})
+            exec_times[model] = record.exec_time
         data[label] = {
             "fabric": exec_times["message"], "flit_ref": exec_times["flit"],
         }

@@ -4,18 +4,27 @@ Examples::
 
     repro-experiments list
     repro-experiments run --exp E5
-    repro-experiments run --all --scale full
+    repro-experiments run --all --scale full --jobs 8
+    repro-experiments run --all --no-cache     # force fresh simulations
+    repro-experiments run --clear-cache        # drop the on-disk run cache
+
+Completed simulations are persisted in the on-disk run cache
+(``results/.runcache/``) and reused across invocations; with ``--jobs``
+greater than one, the runs the requested experiments need are simulated
+in parallel before the (serial) report generation.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
 from typing import List, Optional
 
+from . import parallel, runcache
 from .registry import EXPERIMENTS, run_experiment
 
 
@@ -50,6 +59,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="DIR", default=None,
         help="also write each experiment's raw data as DIR/<id>.json",
     )
+    run_p.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 1, metavar="N",
+        help="simulate the needed runs over N worker processes first "
+             "(default: CPU count; 1 = fully serial)",
+    )
+    run_p.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk run cache",
+    )
+    run_p.add_argument(
+        "--clear-cache", action="store_true",
+        help="delete the on-disk run cache before running",
+    )
     return parser
 
 
@@ -59,17 +81,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         for exp_id, (title, _runner) in EXPERIMENTS.items():
             print(f"{exp_id:4s} {title}")
         return 0
+    if args.clear_cache:
+        removed = runcache.clear()
+        print(f"run cache cleared ({removed} entries)")
     exp_ids = list(EXPERIMENTS) if args.all else (args.exp or [])
     if not exp_ids:
+        if args.clear_cache:
+            return 0
         print("nothing to run: pass --all or --exp <id>", file=sys.stderr)
         return 2
     unknown = [e for e in exp_ids if e not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         return 2
+    runcache.set_enabled(not args.no_cache)
     json_dir = pathlib.Path(args.json) if args.json else None
     if json_dir is not None:
         json_dir.mkdir(parents=True, exist_ok=True)
+    if args.jobs > 1:
+        started = time.time()
+        counters = parallel.prewarm(exp_ids, scale=args.scale,
+                                    jobs=args.jobs)
+        print(
+            f"prewarm: {counters['planned']} distinct runs "
+            f"({counters['memo']} memoized, {counters['disk']} from disk "
+            f"cache, {counters['executed']} simulated on {args.jobs} "
+            f"workers) [{time.time() - started:.1f}s]"
+        )
     for exp_id in exp_ids:
         started = time.time()
         result = run_experiment(exp_id, scale=args.scale)
@@ -87,6 +125,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             (json_dir / f"{result.exp_id}.json").write_text(
                 json.dumps(payload, indent=2)
             )
+    if not args.no_cache:
+        cache = runcache.stats()
+        print(
+            f"run cache: {cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['stores']} stores ({runcache.cache_dir()})"
+        )
     return 0
 
 

@@ -10,7 +10,15 @@ Experiments come in two scales:
 
 Runs are memoized per process: most experiments reuse the same
 (base, network-cache, switch-cache) simulations, so a full harness pass
-executes each distinct machine exactly once.
+executes each distinct machine exactly once.  On top of the in-process
+memo sit two more layers (see DESIGN.md):
+
+* the **on-disk run cache** (:mod:`repro.experiments.runcache`) —
+  completed runs persist across processes, keyed by the full config;
+* the **parallel executor** (:mod:`repro.experiments.parallel`) —
+  fans the distinct runs an experiment set needs out over a process
+  pool and rehydrates this module's memo, so the runners themselves
+  stay serial and unchanged.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from ..apps import PAPER_APPS
 from ..stats.counters import MachineStats
 from ..system.config import SystemConfig
 from ..system.machine import Machine
+from . import runcache
 
 APP_ORDER = ("FWA", "GS", "GE", "MM", "SOR", "FFT")
 
@@ -46,9 +55,17 @@ APP_SCALES: Dict[str, Dict[str, Dict[str, int]]] = {
 }
 
 
-def make_app(name: str, scale: str):
-    """Instantiate one of the six paper kernels at the given scale."""
-    return PAPER_APPS[name](**APP_SCALES[scale][name])
+def make_app(name: str, scale: str, overrides: Optional[Dict] = None):
+    """Instantiate one of the six paper kernels at the given scale.
+
+    ``overrides`` replaces individual input parameters (e.g. the
+    weak-scaling ablation grows GE's matrix with the machine); it is
+    part of the run's identity for both caching layers.
+    """
+    kwargs = dict(APP_SCALES[scale][name])
+    if overrides:
+        kwargs.update(overrides)
+    return PAPER_APPS[name](**kwargs)
 
 
 @dataclasses.dataclass
@@ -67,38 +84,87 @@ class RunRecord:
     ni_queue: float
     coherence_violations: int
 
+    # ------------------------------------------------------------------
+    # serialization: process-pool transport and the on-disk run cache
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict:
+        """JSON-serializable payload capturing this record exactly."""
+        return {
+            "app": self.app,
+            "scale": self.scale,
+            "config_label": self.config_label,
+            "exec_time": self.exec_time,
+            "stats": self.stats.to_payload(),
+            "switch_totals": dict(self.switch_totals),
+            "switch_hits_by_stage": sorted(self.switch_hits_by_stage.items()),
+            "mean_tag_queue": self.mean_tag_queue,
+            "mean_data_queue": self.mean_data_queue,
+            "ni_queue": self.ni_queue,
+            "coherence_violations": self.coherence_violations,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "RunRecord":
+        """Rebuild a record from :meth:`to_payload` output."""
+        return cls(
+            app=payload["app"],
+            scale=payload["scale"],
+            config_label=payload["config_label"],
+            exec_time=payload["exec_time"],
+            stats=MachineStats.from_payload(payload["stats"]),
+            switch_totals=dict(payload["switch_totals"]),
+            switch_hits_by_stage={
+                int(k): v for k, v in payload["switch_hits_by_stage"]
+            },
+            mean_tag_queue=payload["mean_tag_queue"],
+            mean_data_queue=payload["mean_data_queue"],
+            ni_queue=payload["ni_queue"],
+            coherence_violations=payload["coherence_violations"],
+        )
+
 
 _CACHE: Dict[Tuple, RunRecord] = {}
 
 
-def _config_key(config: SystemConfig) -> Tuple:
-    return (
-        config.num_nodes,
-        config.switch_cache_size,
-        config.switch_cache_assoc,
-        config.switch_cache_banks,
-        config.switch_cache_width_bits,
-        config.switch_cache_bypass_threshold,
-        config.switch_cache_deposit_threshold,
-        tuple(sorted(config.switch_cache_stages))
-        if config.switch_cache_stages is not None
-        else None,
-        config.netcache_size,
-        config.protocol,
-        config.num_nodes * config.procs_per_node,
-        config.switch_cache_replacement,
-        config.l2_size,
+def config_key(config: SystemConfig) -> Tuple:
+    """Hashable identity covering **every** ``SystemConfig`` field.
+
+    Derived by walking ``dataclasses.fields`` so a newly added (or newly
+    swept) parameter can never silently alias two different configs onto
+    one cached run — the on-disk cache fingerprint walks the same fields
+    (:func:`repro.experiments.runcache.config_fingerprint`).
+    """
+    values = []
+    for field in dataclasses.fields(SystemConfig):
+        value = getattr(config, field.name)
+        if isinstance(value, (set, frozenset)):
+            value = tuple(sorted(value))
+        values.append(value)
+    return tuple(values)
+
+
+def run_key(
+    app_name: str, scale: str, config: SystemConfig,
+    app_overrides: Optional[Dict] = None,
+) -> Tuple:
+    """Memo-cache key of one distinct simulation run."""
+    overrides = (
+        tuple(sorted(app_overrides.items())) if app_overrides else None
     )
+    return (app_name, scale, overrides, config_key(config))
 
 
-def run(app_name: str, scale: str, config: SystemConfig) -> RunRecord:
-    """Run (or fetch the memoized run of) one app on one configuration."""
-    key = (app_name, scale, _config_key(config))
-    record = _CACHE.get(key)
-    if record is not None:
-        return record
+def execute(
+    app_name: str, scale: str, config: SystemConfig,
+    app_overrides: Optional[Dict] = None,
+) -> RunRecord:
+    """Actually simulate one run (no cache layers).
+
+    Pure function of its arguments: the engine is deterministic, so the
+    parallel executor's workers call this and ship the payload back.
+    """
     machine = Machine(config)
-    stats = machine.run(make_app(app_name, scale))
+    stats = machine.run(make_app(app_name, scale, app_overrides))
     tag_qs, data_qs = [], []
     for switch in machine.fabric.switches.values():
         engine = switch.cache_engine
@@ -107,7 +173,7 @@ def run(app_name: str, scale: str, config: SystemConfig) -> RunRecord:
         tag_qs.append(engine.sram.tag_port.mean_queueing_delay())
         for port in engine.sram.data_ports:
             data_qs.append(port.mean_queueing_delay())
-    record = RunRecord(
+    return RunRecord(
         app=app_name,
         scale=scale,
         config_label=config.label(),
@@ -120,11 +186,50 @@ def run(app_name: str, scale: str, config: SystemConfig) -> RunRecord:
         ni_queue=machine.fabric.injection_queue_delay(),
         coherence_violations=len(machine.check_coherence()),
     )
+
+
+def run(
+    app_name: str, scale: str, config: SystemConfig,
+    app_overrides: Optional[Dict] = None,
+) -> RunRecord:
+    """Run (or fetch the cached run of) one app on one configuration.
+
+    Lookup order: in-process memo, then the on-disk run cache (when
+    enabled), then a live simulation (which populates both layers).
+    """
+    key = run_key(app_name, scale, config, app_overrides)
+    record = _CACHE.get(key)
+    if record is not None:
+        return record
+    payload = runcache.load(app_name, scale, config, app_overrides)
+    if payload is not None:
+        record = RunRecord.from_payload(payload)
+    else:
+        record = execute(app_name, scale, config, app_overrides)
+        runcache.store(
+            app_name, scale, config, record.to_payload(), app_overrides
+        )
     _CACHE[key] = record
     return record
 
 
+def memoize(key: Tuple, record: RunRecord) -> None:
+    """Install a completed run in the in-process memo (parallel executor)."""
+    _CACHE[key] = record
+
+
+def memoized(key: Tuple) -> Optional[RunRecord]:
+    """The memoized record for ``key``, or None."""
+    return _CACHE.get(key)
+
+
+def memoized_keys() -> Tuple:
+    """Snapshot of the memo's keys (used by plan-coverage tests)."""
+    return tuple(_CACHE)
+
+
 def clear_cache() -> None:
+    """Clear the in-process memo (the disk cache is unaffected)."""
     _CACHE.clear()
 
 

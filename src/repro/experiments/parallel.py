@@ -1,0 +1,308 @@
+"""Parallel executor: fan the harness's distinct runs over a process pool.
+
+The experiment runners themselves are short serial scripts — all their
+time goes into the deterministic machine simulations they request via
+:func:`repro.experiments.common.run`.  Because every experiment's run
+set is statically enumerable (fixed loops over apps, sizes, and
+configs), this module keeps a declarative *plan* per experiment id:
+the exact (app, scale, config, app-overrides) tuples that experiment
+will ask for.  :func:`prewarm` unions the plans for a set of requested
+experiments, dedupes against the in-process memo and the on-disk run
+cache, executes the remainder on a :class:`ProcessPoolExecutor`, and
+rehydrates the memo from the workers' payloads — after which the
+unmodified serial runners find every run already cached.
+
+Plans are best-effort by construction: a run missing from a plan is
+*benign* (the runner simply simulates it serially later, exactly as
+before this module existed), and a stale extra entry merely wastes one
+simulation.  ``tests/test_parallel.py`` pins the plans of the cheap
+experiments against the runs their runners actually perform.
+
+Workers receive the picklable ``SystemConfig`` directly and return
+``RunRecord.to_payload()`` dicts — the same canonical payload the disk
+cache stores — so parallel and serial execution produce bit-identical
+records (the payload round-trip is exact).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..system.config import KB, SystemConfig
+from ..system.presets import (
+    base_config,
+    caesar_plus_config,
+    netcache_config,
+    switch_cache_config,
+)
+from . import common, runcache
+from .ablations import SHARING_APPS
+from .common import APP_ORDER, RunRecord
+from .runners import SC_SIZES
+
+
+@dataclasses.dataclass
+class RunSpec:
+    """One distinct simulation an experiment will request."""
+
+    app: str
+    scale: str
+    config: SystemConfig
+    overrides: Optional[Dict] = None
+
+    def key(self) -> Tuple:
+        return common.run_key(self.app, self.scale, self.config,
+                              self.overrides)
+
+
+# ----------------------------------------------------------------------
+# per-experiment plans (mirror runners.py / ablations.py loop nests)
+# ----------------------------------------------------------------------
+def _specs(scale: str, configs: Iterable[SystemConfig],
+           apps: Tuple[str, ...] = APP_ORDER) -> List[RunSpec]:
+    return [RunSpec(app, scale, config)
+            for app in apps for config in configs]
+
+
+def _plan_static(scale: str) -> List[RunSpec]:
+    return []  # T1/T2 tabulate static parameters; no simulations
+
+
+def _plan_base_apps(scale: str) -> List[RunSpec]:
+    return _specs(scale, [base_config()])  # F3, F4, F5
+
+
+def _plan_e1(scale: str) -> List[RunSpec]:
+    return _specs(scale, [base_config(), switch_cache_config(size=2 * KB)])
+
+
+def _plan_e2(scale: str) -> List[RunSpec]:
+    configs = [base_config()]
+    configs += [switch_cache_config(size=s) for s in SC_SIZES]
+    return _specs(scale, configs)
+
+
+def _plan_e3_e4(scale: str) -> List[RunSpec]:
+    return _specs(scale, [base_config(), netcache_config(),
+                          switch_cache_config(size=2 * KB)])
+
+
+def _plan_e5(scale: str) -> List[RunSpec]:
+    configs = [base_config(), netcache_config()]
+    configs += [switch_cache_config(size=s) for s in SC_SIZES]
+    return _specs(scale, configs)
+
+
+def _plan_e6(scale: str) -> List[RunSpec]:
+    configs = [base_config()]
+    configs += [switch_cache_config(size=s)
+                for s in (512, 1024, 2048, 4096, 8192)]
+    return _specs(scale, configs)
+
+
+def _plan_e7(scale: str) -> List[RunSpec]:
+    return _specs(scale, [switch_cache_config(size=2 * KB, banks=1),
+                          caesar_plus_config(size=2 * KB)])
+
+
+def _plan_e8(scale: str) -> List[RunSpec]:
+    return _specs(scale, [switch_cache_config(size=2 * KB, width_bits=w)
+                          for w in (64, 128, 256)])
+
+
+def _plan_e9(scale: str) -> List[RunSpec]:
+    return _specs(scale, [switch_cache_config(size=2 * KB)])
+
+
+def _plan_a1(scale: str) -> List[RunSpec]:
+    configs = [base_config()]
+    configs += [switch_cache_config(size=2 * KB, stages=stages)
+                for stages in ({0}, {1}, {2}, {3}, None)]
+    return _specs(scale, configs, apps=SHARING_APPS)
+
+
+def _plan_a2(scale: str) -> List[RunSpec]:
+    configs = [base_config()]
+    for bypass, deposit in ((0, 0), (4, 16), (64, 256)):
+        configs.append(switch_cache_config(size=2 * KB).replaced(
+            switch_cache_bypass_threshold=bypass,
+            switch_cache_deposit_threshold=deposit,
+        ))
+    return _specs(scale, configs, apps=SHARING_APPS)
+
+
+def _plan_a3(scale: str) -> List[RunSpec]:
+    configs = [base_config()]
+    configs += [switch_cache_config(size=1 * KB, assoc=a) for a in (1, 2, 4)]
+    return _specs(scale, configs, apps=SHARING_APPS)
+
+
+def _plan_a4(scale: str) -> List[RunSpec]:
+    rows_per_proc = 2 if scale == "quick" else 4
+    specs = []
+    for n in (4, 8, 16, 32):
+        overrides = {"n": rows_per_proc * n}
+        specs.append(RunSpec("GE", scale, base_config(num_nodes=n),
+                             overrides))
+        specs.append(RunSpec(
+            "GE", scale, switch_cache_config(size=2 * KB, num_nodes=n),
+            overrides,
+        ))
+    return specs
+
+
+def _plan_a5(scale: str) -> List[RunSpec]:
+    return _specs(scale, [
+        base_config(),
+        base_config(protocol="mesi"),
+        switch_cache_config(size=2 * KB),
+        switch_cache_config(size=2 * KB, protocol="mesi"),
+    ])
+
+
+def _plan_a6(scale: str) -> List[RunSpec]:
+    mm_n = 24 if scale == "quick" else 48
+    small = dict(l1_size=512, l2_size=2 * KB)
+    specs = []
+    for nodes, ppn in ((16, 1), (8, 2), (4, 4)):
+        overrides = {"n": mm_n}
+        specs.append(RunSpec("MM", scale, base_config(
+            num_nodes=nodes, procs_per_node=ppn, **small), overrides))
+        specs.append(RunSpec("MM", scale, base_config(
+            num_nodes=nodes, procs_per_node=ppn,
+            netcache_size=32 * KB, **small), overrides))
+        specs.append(RunSpec("MM", scale, switch_cache_config(
+            size=2 * KB, num_nodes=nodes, procs_per_node=ppn, **small),
+            overrides))
+    return specs
+
+
+def _plan_a7(scale: str) -> List[RunSpec]:
+    configs = [base_config()]
+    for policy in ("lru", "fifo", "random"):
+        configs.append(switch_cache_config(size=1 * KB).replaced(
+            switch_cache_replacement=policy))
+    return _specs(scale, configs, apps=SHARING_APPS)
+
+
+def _plan_a8(scale: str) -> List[RunSpec]:
+    # only A8's end-to-end validation runs are Machine simulations; its
+    # microbenchmark traffic cases are inline and not cacheable
+    specs = []
+    for sc_size in (0, 1024):
+        for model in ("message", "flit"):
+            specs.append(RunSpec("GE", scale, SystemConfig(
+                num_nodes=4, l1_size=1024, l2_size=4096,
+                switch_cache_size=sc_size, network_model=model,
+            ), {"n": 16}))
+    return specs
+
+
+PLANS: Dict[str, Callable[[str], List[RunSpec]]] = {
+    "T1": _plan_static,
+    "T2": _plan_static,
+    "F3": _plan_base_apps,
+    "F4": _plan_base_apps,
+    "F5": _plan_base_apps,
+    "E1": _plan_e1,
+    "E2": _plan_e2,
+    "E3": _plan_e3_e4,
+    "E4": _plan_e3_e4,
+    "E5": _plan_e5,
+    "E6": _plan_e6,
+    "E7": _plan_e7,
+    "E8": _plan_e8,
+    "E9": _plan_e9,
+    "A1": _plan_a1,
+    "A2": _plan_a2,
+    "A3": _plan_a3,
+    "A4": _plan_a4,
+    "A5": _plan_a5,
+    "A6": _plan_a6,
+    "A7": _plan_a7,
+    "A8": _plan_a8,
+}
+
+
+def plan(exp_ids: Iterable[str], scale: str = "quick") -> List[RunSpec]:
+    """The deduplicated union of runs the given experiments will request."""
+    specs: List[RunSpec] = []
+    seen = set()
+    for exp_id in exp_ids:
+        planner = PLANS.get(exp_id)
+        if planner is None:
+            continue
+        for spec in planner(scale):
+            key = spec.key()
+            if key not in seen:
+                seen.add(key)
+                specs.append(spec)
+    return specs
+
+
+def _worker(app: str, scale: str, config: SystemConfig,
+            overrides: Optional[Dict]) -> Dict:
+    """Pool worker: simulate one run, ship back its canonical payload."""
+    return common.execute(app, scale, config, overrides).to_payload()
+
+
+def prewarm(
+    exp_ids: Iterable[str],
+    scale: str = "quick",
+    jobs: Optional[int] = None,
+) -> Dict[str, int]:
+    """Execute every run the experiments need, in parallel, into the memo.
+
+    After this returns, the serial runners for ``exp_ids`` find all their
+    simulations memoized.  Returns counters: ``planned`` (distinct runs),
+    ``memo``/``disk`` (already warm), ``executed`` (freshly simulated).
+    """
+    return execute_specs(plan(exp_ids, scale), jobs=jobs)
+
+
+def execute_specs(
+    specs: List[RunSpec], jobs: Optional[int] = None
+) -> Dict[str, int]:
+    """Warm both cache layers for ``specs`` (see :func:`prewarm`)."""
+    counters = {"planned": len(specs), "memo": 0, "disk": 0, "executed": 0}
+    todo: List[Tuple[Tuple, RunSpec]] = []
+    for spec in specs:
+        key = spec.key()
+        if common.memoized(key) is not None:
+            counters["memo"] += 1
+            continue
+        payload = runcache.load(spec.app, spec.scale, spec.config,
+                                spec.overrides)
+        if payload is not None:
+            common.memoize(key, RunRecord.from_payload(payload))
+            counters["disk"] += 1
+            continue
+        todo.append((key, spec))
+    if not todo:
+        return counters
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or len(todo) == 1:
+        for _key, spec in todo:
+            common.run(spec.app, spec.scale, spec.config, spec.overrides)
+            counters["executed"] += 1
+        return counters
+    with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+        futures = {
+            pool.submit(_worker, spec.app, spec.scale, spec.config,
+                        spec.overrides): (key, spec)
+            for key, spec in todo
+        }
+        for future in as_completed(futures):
+            key, spec = futures[future]
+            record = RunRecord.from_payload(future.result())
+            # the parent owns both cache layers: rehydrate the memo and
+            # persist to disk (workers only simulate)
+            common.memoize(key, record)
+            runcache.store(spec.app, spec.scale, spec.config,
+                           record.to_payload(), spec.overrides)
+            counters["executed"] += 1
+    return counters

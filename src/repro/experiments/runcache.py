@@ -1,0 +1,183 @@
+"""On-disk cache of completed simulation runs.
+
+The experiment harness re-simulates the same (app, scale, config)
+machines every time a figure is regenerated.  Each run is a pure
+function of its inputs (the engine is deterministic), so completed
+:class:`~repro.experiments.common.RunRecord` payloads are persisted
+under ``results/.runcache/`` and reused across processes and across
+days: regenerating one figure, or re-running the benchmark harness,
+only simulates machines it has never seen.
+
+Keying
+------
+A cache entry is addressed by ``(app, scale, config fingerprint,
+CACHE_FORMAT_VERSION)``.  The fingerprint hashes **every**
+``SystemConfig`` field (plus any per-run application-input overrides),
+so two configs that differ in any parameter can never alias.  The
+format version is baked into the file name; bump
+:data:`CACHE_FORMAT_VERSION` whenever simulator *behaviour* changes
+(not just the payload layout), which atomically invalidates every
+stale entry — see CONTRIBUTING.md.
+
+The cache is **disabled by default** so unit tests always exercise the
+live simulator; the CLI (``repro-experiments``) and the benchmark
+harness (``benchmarks/conftest.py``) enable it explicitly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional
+
+from ..system.config import SystemConfig
+
+#: bump when a code change alters simulation results or payload layout;
+#: every existing cache entry becomes unreachable (stale files are
+#: removed by ``clear()`` or by hand)
+CACHE_FORMAT_VERSION = 1
+
+_enabled = False
+
+#: statistics for the current process (prewarm/CLI reporting)
+hits = 0
+misses = 0
+stores = 0
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable the on-disk cache for this process."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def cache_dir() -> pathlib.Path:
+    """Cache directory: ``$REPRO_RUNCACHE_DIR`` or ``results/.runcache``.
+
+    The default resolves against the repository checkout containing this
+    file when run from a source tree, else against the current working
+    directory (installed-package case).
+    """
+    override = os.environ.get("REPRO_RUNCACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    here = pathlib.Path(__file__).resolve()
+    repo_root = here.parents[3]  # src/repro/experiments/runcache.py -> repo
+    if (repo_root / "src").is_dir():
+        return repo_root / "results" / ".runcache"
+    return pathlib.Path.cwd() / "results" / ".runcache"
+
+
+def config_fingerprint(
+    config: SystemConfig, app_overrides: Optional[Dict] = None
+) -> str:
+    """Hex digest over every config field plus app-input overrides."""
+    blob = {
+        field.name: _jsonable(getattr(config, field.name))
+        for field in dataclasses.fields(SystemConfig)
+    }
+    if app_overrides:
+        blob["__app_overrides__"] = {
+            str(k): _jsonable(v) for k, v in sorted(app_overrides.items())
+        }
+    canonical = json.dumps(blob, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _jsonable(value):
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def entry_path(
+    app: str, scale: str, config: SystemConfig,
+    app_overrides: Optional[Dict] = None,
+) -> pathlib.Path:
+    digest = config_fingerprint(config, app_overrides)
+    name = f"{app}-{scale}-{digest[:20]}.v{CACHE_FORMAT_VERSION}.json"
+    return cache_dir() / name
+
+
+def load(
+    app: str, scale: str, config: SystemConfig,
+    app_overrides: Optional[Dict] = None,
+) -> Optional[Dict]:
+    """The cached RunRecord payload for this run, or None."""
+    global hits, misses
+    if not _enabled:
+        return None
+    path = entry_path(app, scale, config, app_overrides)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        misses += 1
+        return None
+    if payload.get("cache_format") != CACHE_FORMAT_VERSION:
+        misses += 1
+        return None
+    hits += 1
+    return payload["record"]
+
+
+def store(
+    app: str, scale: str, config: SystemConfig,
+    record_payload: Dict, app_overrides: Optional[Dict] = None,
+) -> Optional[pathlib.Path]:
+    """Persist a RunRecord payload; returns the entry path (None if off)."""
+    global stores
+    if not _enabled:
+        return None
+    path = entry_path(app, scale, config, app_overrides)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    wrapped = {
+        "cache_format": CACHE_FORMAT_VERSION,
+        "app": app,
+        "scale": scale,
+        "config_label": config.label(),
+        "record": record_payload,
+    }
+    # atomic publish: concurrent workers may store the same entry
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(wrapped, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    stores += 1
+    return path
+
+
+def clear() -> int:
+    """Delete every cache entry (all versions).  Returns files removed."""
+    directory = cache_dir()
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for path in directory.glob("*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def stats() -> Dict[str, int]:
+    """Per-process cache counters (for CLI/prewarm reporting)."""
+    return {"hits": hits, "misses": misses, "stores": stores}

@@ -129,6 +129,7 @@ class Fabric:
     # per-hop processing
     # ------------------------------------------------------------------
     def _arrive(self, msg: Message, hop: int) -> None:
+        # hot path: one call per worm per switch; locals hoisted
         sid = msg.route[hop]
         switch = self.switches[sid]
         msg.trace.append(sid)
@@ -148,14 +149,19 @@ class Fabric:
         self._forward(msg, hop, header_at=self.sim.now)
 
     def _forward(self, msg: Message, hop: int, header_at: int) -> None:
-        switch = self.switches[msg.route[hop]]
-        last_hop = hop == len(msg.route) - 1
-        neighbor = msg.dst if last_hop else msg.route[hop + 1]
-        _grant, header_next, tail_done = switch.forward(msg.flits, neighbor, header_at)
-        if last_hop:
+        route = msg.route
+        switch = self.switches[route[hop]]
+        next_hop = hop + 1
+        if next_hop == len(route):
+            _grant, _header_next, tail_done = switch.forward(
+                msg.flits, msg.dst, header_at
+            )
             self.sim.at(tail_done, lambda: self._deliver(msg))
         else:
-            self.sim.at(header_next, lambda: self._arrive(msg, hop + 1))
+            _grant, header_next, _tail = switch.forward(
+                msg.flits, route[next_hop], header_at
+            )
+            self.sim.at(header_next, lambda: self._arrive(msg, next_hop))
 
     def _deliver(self, msg: Message) -> None:
         msg.delivered_at = self.sim.now

@@ -32,6 +32,14 @@ from ..errors import ConfigError
 
 SwitchId = Tuple[int, int]  # (stage, row)
 
+#: all-pairs route tables shared by every topology instance of a given
+#: size.  Routing is static per topology, and an experiment harness builds
+#: hundreds of same-sized machines, so the table is computed once per
+#: ``num_nodes`` for the lifetime of the process.  The cached lists are
+#: shared — callers must treat returned paths as read-only (they already
+#: did: the per-instance cache handed out shared lists too).
+_ROUTE_TABLES: Dict[int, Dict[Tuple[int, int], List[SwitchId]]] = {}
+
 
 class BminTopology:
     """Geometry and routing of a k=2 butterfly BMIN for ``num_nodes`` nodes."""
@@ -43,7 +51,22 @@ class BminTopology:
         self.k = 2
         self.stages = max(1, num_nodes.bit_length() - 1)  # log2(N)
         self.rows = num_nodes // 2  # switches per stage
-        self._path_cache: Dict[Tuple[int, int], List[SwitchId]] = {}
+        table = _ROUTE_TABLES.get(num_nodes)
+        if table is None:
+            table = self._build_route_table()
+            _ROUTE_TABLES[num_nodes] = table
+        self._path_cache = table
+
+    def _build_route_table(self) -> Dict[Tuple[int, int], List[SwitchId]]:
+        """Precompute every pair's route (canonical path + its reversal)."""
+        table: Dict[Tuple[int, int], List[SwitchId]] = {}
+        for a in range(self.num_nodes):
+            table[(a, a)] = []
+            for b in range(a + 1, self.num_nodes):
+                canon = self._canonical_path(a, b)
+                table[(a, b)] = canon
+                table[(b, a)] = list(reversed(canon))
+        return table
 
     # ------------------------------------------------------------------
     # geometry
@@ -94,20 +117,12 @@ class BminTopology:
         Returns the ordered list of (stage, row) switches the header
         traverses.  ``path(a, a)`` is empty (local access, no network).
         """
-        self._check_node(a)
-        self._check_node(b)
-        if a == b:
-            return []
-        key = (a, b)
-        cached = self._path_cache.get(key)
-        if cached is not None:
-            return cached
-        lo, hi = (a, b) if a < b else (b, a)
-        canon = self._canonical_path(lo, hi)
-        forward = canon if a < b else list(reversed(canon))
-        self._path_cache[(lo, hi)] = canon
-        self._path_cache[(hi, lo)] = list(reversed(canon))
-        return forward
+        route = self._path_cache.get((a, b))
+        if route is None:
+            # every valid pair is precomputed; a miss is a bad node id
+            self._check_node(a)
+            self._check_node(b)
+        return route
 
     def _canonical_path(self, a: int, b: int) -> List[SwitchId]:
         """Canonical path for a < b: straight ascent from a, morph descent to b."""

@@ -202,14 +202,19 @@ class ClusterBus:
 
     def _complete(self, op: _BusOp, result=None) -> None:
         del self._active[op.block]
-        if op.callback is not None:
-            op.callback(result)
+        # promote the next queued op *before* running the callback: the
+        # callback may resume a processor that synchronously submits a new
+        # op to this block, which must queue behind the promoted one (and
+        # must not slip into the just-vacated active slot, where the
+        # promotion would clobber it and break per-block serialization)
         queue = self._queues.get(op.block)
         if queue:
             nxt = queue.popleft()
             if not queue:
                 del self._queues[op.block]
             self._start(nxt)
+        if op.callback is not None:
+            op.callback(result)
 
     # ------------------------------------------------------------------
     def _siblings(self, stack: ProcStack):

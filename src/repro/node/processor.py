@@ -79,60 +79,91 @@ class Processor:
         self._run()
 
     def _run(self) -> None:
+        # The simulator's hottest loop: every cache hit and local-work op
+        # executes here without touching the event queue.  Attribute
+        # lookups are hoisted into locals, and the local clock / op
+        # counter live in locals, written back before any exit (the
+        # helpers called on exit paths read ``self.time``).  ``sim.now``
+        # is constant for the whole loop — no events fire inside it.
         node = self.node
         stats = node.stats
+        sim = self.sim
+        now = sim.now
+        quantum = self.quantum
+        l1_cycles = self.l1_cycles
+        l2_cycles = self.l2_cycles
+        store_cycles = self.store_cycles
+        trace_values = self.trace_values
+        write_buffer = node.write_buffer
+        hierarchy_read = node.hierarchy.read
+        node_id = node.node_id
+        record_read_hit = stats.record_read_hit
+        ops_iter = self._ops
+        time = self.time
+        ops_executed = self.ops_executed
         while True:
             # yield if we have run too far ahead of global time
-            if self.time - self.sim.now >= self.quantum:
-                self.sim.at(self.time, self._resume)
+            if time - now >= quantum:
+                self.time = time
+                self.ops_executed = ops_executed
+                sim.at(time, self._resume)
                 return
             if self._pending_op is not None:
                 op, self._pending_op = self._pending_op, None
             else:
-                op = next(self._ops, None)
+                op = next(ops_iter, None)
             if op is None:
+                self.time = time
+                self.ops_executed = ops_executed
                 self._begin_finish()
                 return
             code = op[0]
             if code == "r":
                 addr = op[1]
-                if node.write_buffer.contains(addr):
-                    self.time += self.l1_cycles
-                    self.ops_executed += 1
-                    stats.record_read_hit(node.node_id, "wb")
+                if write_buffer.contains(addr):
+                    time += l1_cycles
+                    ops_executed += 1
+                    record_read_hit(node_id, "wb")
                     continue
-                result = node.hierarchy.read(addr)
-                if result.level == "l1":
-                    self.time += self.l1_cycles
-                    self.ops_executed += 1
-                    stats.record_read_hit(node.node_id, "l1")
-                    if self.trace_values:
-                        self.value_trace.append(("r", addr, result.data, self.time))
+                result = hierarchy_read(addr)
+                level = result.level
+                if level == "l1":
+                    time += l1_cycles
+                    ops_executed += 1
+                    record_read_hit(node_id, "l1")
+                    if trace_values:
+                        self.value_trace.append(("r", addr, result.data, time))
                     continue
-                if result.level == "l2":
-                    self.time += self.l2_cycles
-                    self.ops_executed += 1
-                    stats.record_read_hit(node.node_id, "l2")
-                    if self.trace_values:
-                        self.value_trace.append(("r", addr, result.data, self.time))
+                if level == "l2":
+                    time += l2_cycles
+                    ops_executed += 1
+                    record_read_hit(node_id, "l2")
+                    if trace_values:
+                        self.value_trace.append(("r", addr, result.data, time))
                     continue
+                self.time = time
+                self.ops_executed = ops_executed
                 self._start_read_miss(addr)
                 return
             if code == "w":
-                if node.write_buffer.push(op[1]):
-                    self.time += self.store_cycles
-                    self.ops_executed += 1
+                if write_buffer.push(op[1]):
+                    time += store_cycles
+                    ops_executed += 1
                     node.kick_drain()
                     continue
                 # buffer full: wait for a drain to complete, then retry
+                self.time = time
+                self.ops_executed = ops_executed
                 self._pending_op = op
-                self._stall_started = self.time
+                self._stall_started = time
                 node.wait_wb_change(self._retry_after_wb)
                 return
             if code == "work":
-                self.time += op[1]
-                self.ops_executed += 1
+                time += op[1]
+                ops_executed += 1
                 continue
+            self.time = time
+            self.ops_executed = ops_executed
             if code == "barrier":
                 self._pending_op = None
                 self._start_sync(op, is_barrier=True)

@@ -34,17 +34,26 @@ class Event:
     stay in the heap but are skipped when popped (lazy deletion).
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
 
-    def __init__(self, time: int, seq: int, callback: Callback) -> None:
+    def __init__(
+        self, time: int, seq: int, callback: Callback, sim: "Simulator" = None
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # keep the owning simulator's live-event counter exact while
+            # the event is still queued (cleared to None once popped)
+            sim = self._sim
+            if sim is not None:
+                sim._cancelled_queued += 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -71,6 +80,7 @@ class Simulator:
         self._seq: int = 0
         self._queue: List[Event] = []
         self._events_fired: int = 0
+        self._cancelled_queued: int = 0  # cancelled events still in _queue
         self.horizon = horizon
 
     # ------------------------------------------------------------------
@@ -89,7 +99,7 @@ class Simulator:
                 f"cannot schedule event in the past: {time} < now {self.now}"
             )
         self._seq += 1
-        event = Event(time, self._seq, callback)
+        event = Event(time, self._seq, callback, self)
         heapq.heappush(self._queue, event)
         return event
 
@@ -98,9 +108,12 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
+            event._sim = None
             if event.cancelled:
+                self._cancelled_queued -= 1
                 continue
             if self.horizon is not None and event.time > self.horizon:
                 return False
@@ -111,23 +124,68 @@ class Simulator:
         return False
 
     def run(self, until: Optional[int] = None) -> int:
-        """Run until the queue drains (or ``until`` cycles).  Returns now."""
+        """Run until the queue drains (or ``until`` cycles).  Returns now.
+
+        Each event is popped exactly once: an event beyond ``until`` is
+        pushed back and the loop stops, instead of the old peek-then-step
+        double scan over cancelled heads.
+        """
+        queue = self._queue
+        heappop, heappush = heapq.heappop, heapq.heappush
+        horizon = self.horizon
         if until is None:
-            while self.step():
-                pass
+            while queue:
+                event = heappop(queue)
+                event._sim = None
+                if event.cancelled:
+                    self._cancelled_queued -= 1
+                    continue
+                if horizon is not None and event.time > horizon:
+                    break  # beyond the horizon: drop, as step() does
+                self.now = event.time
+                self._events_fired += 1
+                event.callback()
         else:
-            while self._queue:
-                head = self._peek()
-                if head is None or head.time > until:
+            while queue:
+                event = heappop(queue)
+                if event.cancelled:
+                    event._sim = None
+                    self._cancelled_queued -= 1
+                    continue
+                if event.time > until:
+                    heappush(queue, event)  # not ours to fire; put it back
                     break
-                self.step()
+                event._sim = None
+                if horizon is not None and event.time > horizon:
+                    continue  # beyond the horizon: drop, as step() does
+                self.now = event.time
+                self._events_fired += 1
+                event.callback()
             self.now = max(self.now, until)
         return self.now
 
     def run_while(self, predicate: Callable[[], bool]) -> int:
         """Run events while ``predicate()`` holds and events remain."""
+        queue = self._queue
+        heappop = heapq.heappop
+        horizon = self.horizon
         while predicate():
-            if not self.step():
+            # inline step(): this is the machine's main loop
+            fired = False
+            while queue:
+                event = heappop(queue)
+                event._sim = None
+                if event.cancelled:
+                    self._cancelled_queued -= 1
+                    continue
+                if horizon is not None and event.time > horizon:
+                    break
+                self.now = event.time
+                self._events_fired += 1
+                event.callback()
+                fired = True
+                break
+            if not fired:
                 break
         return self.now
 
@@ -136,13 +194,19 @@ class Simulator:
     # ------------------------------------------------------------------
     def _peek(self) -> Optional[Event]:
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)
+            event._sim = None
+            self._cancelled_queued -= 1
         return self._queue[0] if self._queue else None
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): maintained as queue length minus the count of cancelled
+        events that have not been lazily removed yet.
+        """
+        return len(self._queue) - self._cancelled_queued
 
     @property
     def events_fired(self) -> int:

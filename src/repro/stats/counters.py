@@ -207,6 +207,73 @@ class MachineStats:
         total = self.ideal_global_hits + self.ideal_global_misses
         return self.ideal_global_hits / total if total else 0.0
 
+    # ------------------------------------------------------------------
+    # serialization (process-pool transport and the on-disk run cache)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict:
+        """Complete, JSON-serializable state of this collector.
+
+        Unlike :meth:`to_dict` (a human-oriented summary), this captures
+        every field exactly, so :meth:`from_payload` rebuilds a collector
+        whose derived quantities are bit-identical to the original's.
+        Integer-keyed maps are stored as sorted ``[key, value]`` pairs
+        because JSON objects only allow string keys.
+        """
+        return {
+            "num_nodes": self.num_nodes,
+            "read_counts": dict(self.read_counts),
+            "read_latency": dict(self.read_latency),
+            "switch_hits_by_stage": sorted(self.switch_hits_by_stage.items()),
+            "breakdown_sums": dict(self.breakdown_sums),
+            "breakdown_count": self.breakdown_count,
+            "writes_completed": self.writes_completed,
+            "write_latency": self.write_latency,
+            "upgrades_completed": self.upgrades_completed,
+            "exec_time": self.exec_time,
+            "finish_times": sorted(self.finish_times.items()),
+            "per_node_reads": list(self.per_node_reads),
+            "block_readers": [
+                [addr, sorted(readers)]
+                for addr, readers in sorted(self.block_readers.items())
+            ],
+            "block_read_counts": sorted(self.block_read_counts.items()),
+            "seen_versions": sorted(
+                (list(v) for v in self._seen_versions),
+                # data may be None; sort it before any integer version
+                key=lambda v: (v[0], v[1] is not None, v[1] or 0),
+            ),
+            "ideal_global_hits": self.ideal_global_hits,
+            "ideal_global_misses": self.ideal_global_misses,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "MachineStats":
+        """Rebuild a collector from :meth:`to_payload` output."""
+        stats = cls(payload["num_nodes"])
+        stats.read_counts = dict(payload["read_counts"])
+        stats.read_latency = dict(payload["read_latency"])
+        stats.switch_hits_by_stage = {
+            int(k): v for k, v in payload["switch_hits_by_stage"]
+        }
+        stats.breakdown_sums = dict(payload["breakdown_sums"])
+        stats.breakdown_count = payload["breakdown_count"]
+        stats.writes_completed = payload["writes_completed"]
+        stats.write_latency = payload["write_latency"]
+        stats.upgrades_completed = payload["upgrades_completed"]
+        stats.exec_time = payload["exec_time"]
+        stats.finish_times = {int(k): v for k, v in payload["finish_times"]}
+        stats.per_node_reads = list(payload["per_node_reads"])
+        stats.block_readers = {
+            int(addr): set(readers) for addr, readers in payload["block_readers"]
+        }
+        stats.block_read_counts = {
+            int(k): v for k, v in payload["block_read_counts"]
+        }
+        stats._seen_versions = {tuple(v) for v in payload["seen_versions"]}
+        stats.ideal_global_hits = payload["ideal_global_hits"]
+        stats.ideal_global_misses = payload["ideal_global_misses"]
+        return stats
+
     def to_dict(self) -> Dict:
         """JSON-serializable summary of the run (for tooling/export)."""
         return {

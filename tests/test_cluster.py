@@ -235,3 +235,23 @@ class TestClusterWithExtras:
             scripts, cluster_config(nodes=2, ppn=4), blocks=1
         )
         assert len(stats.finish_times) == 8
+
+
+class TestBusSerialization:
+    def test_synchronous_resubmit_queues_behind_promoted_op(self):
+        """Regression: a completion callback that immediately submits a
+        new op to the same block (read completes -> processor resumes ->
+        write-buffer drain issues a write) must queue behind the op
+        promoted from the block's FIFO, not race it.  The old ordering
+        let the resubmission slip into the vacated active slot and be
+        clobbered by the promotion, crashing on the write's completion.
+        """
+        config = cluster_config(nodes=2, ppn=2, switch_cache_size=512)
+        scripts = {
+            2: [("r", ("blk", 0)), ("w", ("blk", 0))],
+            3: [("r", ("blk", 0))],
+        }
+        machine, _app, stats = run_app(scripts, config, blocks=6, home=0)
+        assert_coherent(machine)
+        assert_monotonic_reads(machine)
+        assert stats.writes_completed + stats.upgrades_completed == 1

@@ -217,3 +217,37 @@ def test_callback_exception_propagates():
     sim.schedule(1, lambda: (_ for _ in ()).throw(ValueError("boom")))
     with pytest.raises(ValueError):
         sim.run()
+
+
+def test_pending_exact_through_cancellation_storm():
+    """The O(1) live-event counter stays exact across every path a
+    cancelled event can take: cancelled-then-popped, double-cancelled,
+    cancelled after firing, and events pushed back by run(until)."""
+    sim = Simulator()
+    events = [sim.schedule(t, lambda: None) for t in range(1, 11)]
+    assert sim.pending == 10
+    for e in events[::2]:
+        e.cancel()
+        e.cancel()  # idempotent: must not double-count
+    assert sim.pending == 5
+    sim.run(until=6)  # fires 2,4,6; discards cancelled 1,3,5
+    assert sim.pending == 2  # 8 and 10 still live (7, 9 cancelled)
+    fired = events[1]
+    fired.cancel()  # cancelling an already-fired event is a no-op
+    assert sim.pending == 2
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_run_until_event_pushed_back_survives_cancel():
+    """An event beyond `until` is reinserted; cancelling it afterwards
+    must still be honoured (and keep the pending count exact)."""
+    sim = Simulator()
+    fired = []
+    late = sim.schedule(100, lambda: fired.append("late"))
+    sim.run(until=50)
+    assert sim.now == 50 and sim.pending == 1
+    late.cancel()
+    assert sim.pending == 0
+    sim.run()
+    assert fired == []

@@ -1,0 +1,185 @@
+"""The parallel executor and the on-disk run cache.
+
+Three properties keep the caching layers honest:
+
+* **parallel == serial** — a run simulated in a pool worker and shipped
+  back as a payload is bit-identical to the same run simulated inline;
+* **disk round-trip** — a record stored to and reloaded from the run
+  cache reproduces every statistic, and a warm cache performs zero new
+  simulations;
+* **keys/plans cannot alias** — the memo/disk key covers every
+  ``SystemConfig`` field, and the per-experiment plans enumerate exactly
+  the runs the serial runners perform (checked for cheap experiments).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import common, parallel, runcache
+from repro.experiments.common import RunRecord, config_key, run_key
+from repro.experiments.registry import run_experiment
+from repro.system.config import KB, SystemConfig
+from repro.system.presets import base_config, switch_cache_config
+
+GS_SPECS = [
+    parallel.RunSpec("GS", "quick", base_config()),
+    parallel.RunSpec("GS", "quick", switch_cache_config(size=2 * KB)),
+]
+
+
+@pytest.fixture
+def isolated_caches(tmp_path, monkeypatch):
+    """Fresh memo + a throwaway disk cache dir, disabled afterwards."""
+    monkeypatch.setenv("REPRO_RUNCACHE_DIR", str(tmp_path / "runcache"))
+    common.clear_cache()
+    runcache.set_enabled(False)
+    yield tmp_path / "runcache"
+    runcache.set_enabled(False)
+    common.clear_cache()
+
+
+# ----------------------------------------------------------------------
+# parallel == serial
+# ----------------------------------------------------------------------
+def test_parallel_matches_serial(isolated_caches):
+    serial = {
+        spec.key(): common.execute(
+            spec.app, spec.scale, spec.config, spec.overrides
+        )
+        for spec in GS_SPECS
+    }
+    counters = parallel.execute_specs(list(GS_SPECS), jobs=2)
+    assert counters["executed"] == len(GS_SPECS)
+    for key, reference in serial.items():
+        pooled = common.memoized(key)
+        assert pooled is not None
+        assert pooled.exec_time == reference.exec_time
+        assert pooled.switch_totals == reference.switch_totals
+        assert (
+            pooled.stats.breakdown_means() == reference.stats.breakdown_means()
+        )
+        assert pooled.to_payload() == reference.to_payload()
+
+
+def test_prewarmed_memo_serves_runners(isolated_caches):
+    parallel.execute_specs(list(GS_SPECS), jobs=2)
+    record = common.memoized(GS_SPECS[0].key())
+    assert common.run("GS", "quick", base_config()) is record
+
+
+# ----------------------------------------------------------------------
+# disk cache round-trip
+# ----------------------------------------------------------------------
+def test_runcache_round_trip(isolated_caches):
+    runcache.set_enabled(True)
+    first = common.run("GS", "quick", base_config())
+    stored = first.to_payload()
+    common.clear_cache()  # evict the memo: force the disk path
+    second = common.run("GS", "quick", base_config())
+    assert second is not first
+    assert second.to_payload() == stored
+    assert second.exec_time == first.exec_time
+    assert second.stats.to_dict() == first.stats.to_dict()
+
+
+def test_warm_runcache_does_zero_simulations(isolated_caches, monkeypatch):
+    runcache.set_enabled(True)
+    common.run("GS", "quick", base_config())
+    common.clear_cache()
+
+    def boom(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("warm cache must not simulate")
+
+    monkeypatch.setattr(common, "execute", boom)
+    common.run("GS", "quick", base_config())
+
+
+def test_runcache_disabled_by_default(isolated_caches):
+    assert not runcache.is_enabled()
+    common.run("GS", "quick", base_config())
+    assert not (isolated_caches).exists()  # nothing written
+
+
+def test_runcache_version_mismatch_misses(isolated_caches, monkeypatch):
+    runcache.set_enabled(True)
+    config = base_config()
+    first = common.run("GS", "quick", config)
+    monkeypatch.setattr(runcache, "CACHE_FORMAT_VERSION", 2)
+    assert runcache.load("GS", "quick", config) is None
+    # a fresh store under the new version must not clobber the old entry
+    runcache.store("GS", "quick", config, first.to_payload())
+    monkeypatch.setattr(runcache, "CACHE_FORMAT_VERSION", 1)
+    assert runcache.load("GS", "quick", config) is not None
+
+
+# ----------------------------------------------------------------------
+# key coverage
+# ----------------------------------------------------------------------
+def test_config_key_covers_every_field():
+    key = config_key(SystemConfig())
+    assert len(key) == len(dataclasses.fields(SystemConfig))
+
+
+def test_config_key_distinguishes_network_model():
+    # the historical aliasing bug: A8's message- and flit-model runs
+    # must never share a memo entry
+    message = SystemConfig(num_nodes=4, network_model="message")
+    flit = SystemConfig(num_nodes=4, network_model="flit")
+    assert config_key(message) != config_key(flit)
+    assert (
+        runcache.config_fingerprint(message)
+        != runcache.config_fingerprint(flit)
+    )
+
+
+def test_run_key_includes_app_overrides():
+    config = base_config()
+    assert run_key("GE", "quick", config) != run_key(
+        "GE", "quick", config, {"n": 16}
+    )
+
+
+def test_stage_sets_key_deterministically():
+    a = switch_cache_config(size=2 * KB, stages={0, 2})
+    b = switch_cache_config(size=2 * KB, stages={2, 0})
+    assert config_key(a) == config_key(b)
+    assert runcache.config_fingerprint(a) == runcache.config_fingerprint(b)
+
+
+# ----------------------------------------------------------------------
+# plan coverage (cheap experiments only; a plan miss is benign but
+# a drifted plan should be caught here)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("exp_id", ["F3", "E9"])
+def test_plan_matches_runner(isolated_caches, exp_id):
+    before = set(common.memoized_keys())
+    run_experiment(exp_id, "quick")
+    requested = set(common.memoized_keys()) - before
+    planned = {spec.key() for spec in parallel.plan([exp_id], "quick")}
+    assert requested == planned
+
+
+def test_plans_exist_for_every_experiment():
+    from repro.experiments.registry import EXPERIMENTS
+
+    assert set(parallel.PLANS) == set(EXPERIMENTS)
+
+
+# ----------------------------------------------------------------------
+# payload round-trip is exact (the property the layers above rely on)
+# ----------------------------------------------------------------------
+def test_payload_round_trip_exact(isolated_caches):
+    record = common.run("GS", "quick", switch_cache_config(size=2 * KB))
+    payload = record.to_payload()
+    rebuilt = RunRecord.from_payload(payload)
+    assert rebuilt.to_payload() == payload
+    assert rebuilt.stats.to_dict() == record.stats.to_dict()
+    assert rebuilt.stats.sharing_histogram(16) == (
+        record.stats.sharing_histogram(16)
+    )
+    assert rebuilt.stats.ideal_global_hit_rate() == (
+        record.stats.ideal_global_hit_rate()
+    )
