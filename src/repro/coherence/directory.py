@@ -63,7 +63,8 @@ class Directory:
         entry = self.entry(addr)
         if entry.state is DirState.MODIFIED:
             raise ProtocolError(
-                f"add_sharer on MODIFIED block {addr:#x} (owner {entry.owner})"
+                f"add_sharer on MODIFIED block (owner {entry.owner})",
+                node=node, addr=addr, state=entry.state,
             )
         entry.state = DirState.SHARED
         entry.sharers.add(node)
@@ -81,7 +82,8 @@ class Directory:
         entry = self.entry(addr)
         if entry.state is not DirState.MODIFIED or entry.owner != node:
             raise ProtocolError(
-                f"writeback of {addr:#x} from non-owner {node}: {entry!r}"
+                f"writeback from non-owner (entry {entry!r})",
+                node=node, addr=addr, state=entry.state,
             )
         entry.state = DirState.UNOWNED
         entry.owner = None

@@ -126,7 +126,12 @@ class HomeController:
         elif kind is MsgKind.WRITEBACK:
             self._on_writeback(msg)
         else:
-            raise ProtocolError(f"home {self.node_id} got unexpected {msg!r}")
+            entry = self.directory.peek(msg.addr)
+            raise ProtocolError(
+                f"home got unexpected {msg!r}",
+                node=self.node_id, addr=msg.addr,
+                state=entry.state if entry is not None else None,
+            )
 
     def _block(self, addr: int) -> int:
         return (addr // self.block_size) * self.block_size
@@ -163,7 +168,9 @@ class HomeController:
         elif kind is MsgKind.DIR_UPDATE:
             self._start_dir_update(txn)
         else:  # pragma: no cover - guarded by receive()
-            raise ProtocolError(f"cannot start {msg!r}")
+            raise ProtocolError(
+                f"cannot start {msg!r}", node=self.node_id, addr=msg.addr
+            )
 
     def _start_read(self, txn: HomeTxn) -> None:
         entry = self.directory.entry(txn.block)
@@ -213,8 +220,10 @@ class HomeController:
                 self._send_ctl(MsgKind.RECALL_X, entry.owner, txn)
             return
         # invalidate every registered sharer; the requester (if registered)
-        # gets a purge-only invalidation that cleans its path's switch caches
-        targets = set(entry.sharers)
+        # gets a purge-only invalidation that cleans its path's switch
+        # caches.  Sorted: fan-out order must not depend on set hash order
+        # or simulated timing would vary across Python builds.
+        targets = sorted(entry.sharers)
         txn.acks_needed = len(targets)
         for sharer in targets:
             inv = make_message(
@@ -271,11 +280,20 @@ class HomeController:
     def _start_dir_update(self, txn: HomeTxn) -> None:
         self.dir_updates += 1
         requester = txn.msg.payload.get("requester", txn.msg.src)
+        served = txn.msg.payload.get("sc_version")
         entry = self.directory.entry(txn.block)
-        if entry.state is DirState.MODIFIED:
+        stale = entry.state is DirState.MODIFIED or (
+            served is not None and served != entry.version
+        )
+        if stale:
             # a write slipped between the switch hit and this update: the
             # requester received stale data — chase it with an invalidation
-            # that also purges the stale switch copies along the path
+            # that also purges the stale switch copies along the path.
+            # The version comparison catches the writeback race the dir
+            # state alone misses: the intervening writer may already have
+            # evicted (dir back to UNOWNED/SHARED at a newer version) by
+            # the time this update arrives, and the requester's copy is
+            # stale all the same.
             self.corrective_invs += 1
             inv = make_message(
                 MsgKind.INV,
@@ -296,10 +314,19 @@ class HomeController:
     def _on_inv_ack(self, msg: Message) -> None:
         txn = self._active.get(self._block(msg.addr))
         if txn is None:
-            raise ProtocolError(f"stray INV_ACK {msg!r} at home {self.node_id}")
+            entry = self.directory.peek(msg.addr)
+            raise ProtocolError(
+                f"stray INV_ACK {msg!r} at home",
+                node=self.node_id, addr=msg.addr,
+                state=entry.state if entry is not None else None,
+            )
         txn.acks_needed -= 1
         if txn.acks_needed < 0:
-            raise ProtocolError(f"too many INV_ACKs for block {txn.block:#x}")
+            raise ProtocolError(
+                f"too many INV_ACKs for block {txn.block:#x}",
+                node=self.node_id, addr=txn.block,
+                state=self.directory.entry(txn.block).state,
+            )
         self._write_maybe_finish(txn)
 
     def _on_recall_reply(self, msg: Message) -> None:
@@ -307,7 +334,12 @@ class HomeController:
         if txn is None or not txn.awaiting_owner_data:
             if msg.payload.get("no_data"):
                 return  # benign late reply; the writeback already served us
-            raise ProtocolError(f"stray RECALL_REPLY {msg!r} at home {self.node_id}")
+            entry = self.directory.peek(msg.addr)
+            raise ProtocolError(
+                f"stray RECALL_REPLY {msg!r} at home",
+                node=self.node_id, addr=msg.addr,
+                state=entry.state if entry is not None else None,
+            )
         if msg.payload.get("no_data"):
             # the owner evicted before the recall arrived; its writeback
             # is already in flight on the same path and will supply data
@@ -340,7 +372,11 @@ class HomeController:
         """Owner (or writeback) data arrived for the active transaction."""
         version = txn.owner_version
         if version is None:
-            raise ProtocolError("owner data ready without a version")
+            raise ProtocolError(
+                "owner data ready without a version",
+                node=self.node_id, addr=txn.block,
+                state=self.directory.entry(txn.block).state,
+            )
         entry = self.directory.entry(txn.block)
         if txn.msg.kind is MsgKind.READ:
             # recall (M -> S): old owner keeps a shared copy unless it

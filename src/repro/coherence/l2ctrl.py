@@ -91,8 +91,9 @@ class NodeController:
         self.reads_issued += 1
         if block in self._mshr:
             raise ProtocolError(
-                f"node {self.node_id}: MSHR conflict on {block:#x} "
-                f"(pending {self._mshr[block]!r})"
+                f"MSHR conflict on read (pending {self._mshr[block]!r})",
+                node=self.node_id, addr=block,
+                state=self.hierarchy.state_of(block),
             )
         if (self.probe_netcache and self.netcache is not None
                 and home != self.node_id):
@@ -143,7 +144,9 @@ class NodeController:
         )
         if block in self._mshr:
             raise ProtocolError(
-                f"node {self.node_id}: MSHR conflict on write to {block:#x}"
+                f"MSHR conflict on write (pending {self._mshr[block]!r})",
+                node=self.node_id, addr=block,
+                state=self.hierarchy.state_of(block),
             )
         self._mshr[block] = txn
         msg = make_message(
@@ -172,14 +175,20 @@ class NodeController:
         elif kind in (MsgKind.RECALL, MsgKind.RECALL_X):
             self._on_recall(msg)
         else:
-            raise ProtocolError(f"node {self.node_id} got unexpected {msg!r}")
+            raise ProtocolError(
+                f"node got unexpected {msg!r}",
+                node=self.node_id, addr=msg.addr,
+                state=self.hierarchy.state_of(msg.addr),
+            )
 
     def _pop_mshr(self, msg: Message) -> Transaction:
         block = self._block(msg.addr)
         txn = self._mshr.pop(block, None)
         if txn is None:
             raise ProtocolError(
-                f"node {self.node_id}: reply {msg!r} matches no MSHR"
+                f"reply {msg!r} matches no MSHR",
+                node=self.node_id, addr=block,
+                state=self.hierarchy.state_of(block),
             )
         return txn
 
@@ -236,8 +245,9 @@ class NodeController:
         state = self.hierarchy.state_of(txn.addr)
         if state is not LineState.SHARED:
             raise ProtocolError(
-                f"node {self.node_id}: UPGR_ACK but line is {state} — the home "
-                f"should have escalated to READX"
+                "UPGR_ACK but line is not SHARED — the home should have "
+                "escalated to READX",
+                node=self.node_id, addr=txn.addr, state=state,
             )
         self.hierarchy.upgrade(txn.addr)
         self._finish(txn)

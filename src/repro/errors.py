@@ -23,7 +23,34 @@ class SimulationError(ReproError):
 
 
 class ProtocolError(SimulationError):
-    """A coherence-protocol invariant was violated."""
+    """A coherence-protocol invariant was violated.
+
+    Raise sites attach the node id, block address, and directory/cache
+    state involved so sanitizer and test reports carry enough context to
+    localize the failing transition without a debugger.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: "int | None" = None,
+        addr: "int | None" = None,
+        state: "object | None" = None,
+    ) -> None:
+        context = []
+        if node is not None:
+            context.append(f"node={node}")
+        if addr is not None:
+            context.append(f"addr={addr:#x}")
+        if state is not None:
+            context.append(f"state={getattr(state, 'name', state)}")
+        if context:
+            message = f"{message} [{' '.join(context)}]"
+        super().__init__(message)
+        self.node = node
+        self.addr = addr
+        self.state = state
 
 
 class NetworkError(SimulationError):
@@ -32,3 +59,7 @@ class NetworkError(SimulationError):
 
 class DeadlockError(SimulationError):
     """The event queue drained while components still had pending work."""
+
+
+class SanitizerError(SimulationError):
+    """The runtime sanitizer (SCSan) detected an invariant violation."""

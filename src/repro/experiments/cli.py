@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear-cache", action="store_true",
         help="delete the on-disk run cache before running",
     )
+    run_p.add_argument(
+        "--sanitize", action="store_true",
+        help="run every simulation with SCSan runtime invariant checks "
+             "(sets REPRO_SANITIZE=1 so parallel workers inherit it)",
+    )
     return parser
 
 
@@ -95,6 +100,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         return 2
     runcache.set_enabled(not args.no_cache)
+    if args.sanitize:
+        # worker processes read the environment, so this one switch covers
+        # both the serial path and the ProcessPoolExecutor prewarm
+        os.environ["REPRO_SANITIZE"] = "1"
     json_dir = pathlib.Path(args.json) if args.json else None
     if json_dir is not None:
         json_dir.mkdir(parents=True, exist_ok=True)

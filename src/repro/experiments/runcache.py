@@ -39,7 +39,7 @@ from ..system.config import SystemConfig
 #: bump when a code change alters simulation results or payload layout;
 #: every existing cache entry becomes unreachable (stale files are
 #: removed by ``clear()`` or by hand)
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2  # v2: DIR_UPDATE carries sc_version (stale-reader race fix)
 
 _enabled = False
 

@@ -40,6 +40,11 @@ DeliverFn = Callable[[Message], None]
 class FabricStats:
     """Aggregate network statistics."""
 
+    __slots__ = (
+        "msgs_injected", "msgs_delivered", "flits_injected", "switch_hits",
+        "switch_replies", "dir_updates", "hits_by_stage",
+    )
+
     def __init__(self) -> None:
         self.msgs_injected = 0
         self.msgs_delivered = 0
@@ -58,6 +63,11 @@ class FabricStats:
 
 class Fabric:
     """A BMIN of :class:`Switch` elements plus node attachment points."""
+
+    __slots__ = (
+        "sim", "topo", "switch_delay", "cycles_per_flit", "stats",
+        "switches", "_inject_links", "_handlers",
+    )
 
     def __init__(
         self,
@@ -201,10 +211,13 @@ class Fabric:
         reply.route = list(reversed(msg.trace))
         reply.trace.append(switch.id)
         self._forward(reply, 0, header_at=ready_at)
-        # the request continues to the home as a 1-flit directory update
+        # the request continues to the home as a 1-flit directory update;
+        # it carries the version the switch served so the home can detect
+        # staleness even after an intervening writer has written back
         msg.kind = MsgKind.DIR_UPDATE
         msg.flits = 1
         msg.payload["requester"] = msg.src
+        msg.payload["sc_version"] = data
         self._forward(msg, hop, header_at=self.sim.now)
 
     # ------------------------------------------------------------------

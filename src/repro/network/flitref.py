@@ -337,6 +337,7 @@ class FlitNetwork:
                 addr=msg.addr,
                 flits=1,
                 payload={"requester": msg.src,
+                         "sc_version": data,
                          "proc": msg.payload.get("proc")},
                 transaction=msg.transaction,
             )

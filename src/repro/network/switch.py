@@ -28,6 +28,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 class Switch:
     """One BMIN switching element with per-output-link grant timelines."""
 
+    __slots__ = (
+        "sim", "id", "stage", "switch_delay", "cycles_per_flit", "_out",
+        "cache_engine", "msgs_routed", "flits_routed",
+    )
+
     def __init__(
         self,
         sim: Simulator,

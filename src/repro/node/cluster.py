@@ -135,7 +135,8 @@ class ProcStack:
         line = self.hierarchy.l2.probe(block)
         if line is None:
             raise ProtocolError(
-                f"proc {self.proc_id}: store drain lost ownership of {block:#x}"
+                f"proc {self.proc_id}: store drain lost ownership of {block:#x}",
+                node=self.proc_id, addr=block,
             )
         new_version = line.data + 1
         self.hierarchy.perform_write(block, new_version)

@@ -144,7 +144,9 @@ class Node:
         kind = msg.kind
         if kind in _HOME_KINDS:
             if msg.dst != self.node_id:
-                raise ProtocolError(f"misrouted {msg!r} at node {self.node_id}")
+                raise ProtocolError(
+                    f"misrouted {msg!r}", node=self.node_id, addr=msg.addr
+                )
             self.home_ctrl.receive(msg)
         elif kind is MsgKind.INV:
             self._on_inv(msg)

@@ -75,6 +75,11 @@ class Simulator:
     to bound runaway models.
     """
 
+    __slots__ = (
+        "now", "_seq", "_queue", "_events_fired", "_cancelled_queued",
+        "horizon",
+    )
+
     def __init__(self, horizon: Optional[int] = None) -> None:
         self.now: int = 0
         self._seq: int = 0

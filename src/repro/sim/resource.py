@@ -84,6 +84,11 @@ class FifoServer:
     starts.
     """
 
+    __slots__ = (
+        "sim", "service", "done", "name", "_queue", "_busy", "served",
+        "queued_cycles", "busy_cycles",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -58,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record the executed ops to a trace file")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-category latencies and switch stats")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run with SCSan runtime invariant checks "
+                             "(see repro.verify.sanitize)")
     return parser
 
 
@@ -98,7 +101,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         app = recorder
 
     config = _make_config(args)
-    machine = Machine(config)
+    machine = Machine(config, sanitize=True if args.sanitize else None)
     stats = machine.run(app)
 
     print(f"design: {config.label()}   nodes: {config.num_nodes}"

@@ -14,6 +14,7 @@ directory, and directory ownership must be exact.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cache.states import DirState, LineState
@@ -35,16 +36,41 @@ from .config import SystemConfig
 class Machine:
     """One configured CC-NUMA multiprocessor."""
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(
+        self, config: SystemConfig, sanitize: Optional[bool] = None
+    ) -> None:
         self.config = config
-        self.sim = Simulator()
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        if sanitize:
+            from ..verify.sanitize import (
+                SanitizedFabric,
+                SanitizedSimulator,
+                Sanitizer,
+            )
+
+            self.sanitizer: Optional[Sanitizer] = Sanitizer()
+            self.sim: Simulator = SanitizedSimulator(self.sanitizer)
+        else:
+            self.sanitizer = None
+            self.sim = Simulator()
         self.topology = BminTopology(config.num_nodes)
         if config.network_model == "flit":
+            # the flit-granularity reference model has no sanitized
+            # variant; SCSan still covers engine, coherence, and sync
             self.fabric = FlitNetwork(
                 self.sim,
                 self.topology,
                 cycles_per_flit=config.cycles_per_flit,
                 switch_delay=config.switch_delay,
+            )
+        elif self.sanitizer is not None:
+            self.fabric = SanitizedFabric(
+                self.sanitizer,
+                self.sim,
+                self.topology,
+                switch_delay=config.switch_delay,
+                cycles_per_flit=config.cycles_per_flit,
             )
         else:
             self.fabric = Fabric(
@@ -80,6 +106,8 @@ class Machine:
             )
             for node_id in range(config.num_nodes)
         ]
+        if self.sanitizer is not None:
+            self.sanitizer.attach_machine(self)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -145,6 +173,8 @@ class Machine:
             )
         # let in-flight traffic (writebacks, late invalidations) quiesce
         self.sim.run(until=max_cycles)
+        if self.sanitizer is not None:
+            self.sanitizer.final_check(self)
         if self.stats.exec_time is None:
             raise SimulationError("finish times missing")
         return self.stats
@@ -177,6 +207,12 @@ class Machine:
                         problems.append(
                             f"block {block:#x}: dir owner {entry.owner} but "
                             f"M holders {holders_m}"
+                        )
+                    for node_id, version in holders_s:
+                        problems.append(
+                            f"block {block:#x}: node {node_id} holds stale "
+                            f"S copy v{version} while block is MODIFIED "
+                            f"(owner {entry.owner})"
                         )
                 else:
                     if holders_m:

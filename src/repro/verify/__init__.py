@@ -1,0 +1,38 @@
+"""Correctness tooling for the simulator (``repro.verify``).
+
+Three coordinated analyzers guard the coherence protocol and the event
+kernel:
+
+* :mod:`repro.verify.modelcheck` — an explicit-state model checker that
+  BFS-enumerates the reachable protocol state space for a small
+  configuration (1 block x N nodes, with or without a switch cache on
+  the reply path) and checks SWMR, directory/cache agreement,
+  clean-SHARED switch copies, and absence of stuck states.
+  Run as ``python -m repro.verify.modelcheck``.
+
+* :mod:`repro.verify.sanitize` — "SCSan", an opt-in runtime invariant
+  layer hooked into :class:`~repro.system.machine.Machine`
+  (``--sanitize`` on the CLIs, ``REPRO_SANITIZE=1`` in the
+  environment) that re-checks the same invariants during live
+  simulation plus flit conservation, event-time monotonicity, and
+  write-buffer drain-before-release ordering.
+
+* :mod:`repro.verify.lint_determinism` — an AST lint forbidding
+  wall-clock and unseeded randomness in kernel modules, unsorted
+  ``set`` iteration in simulation-order-sensitive code, and missing
+  ``__slots__`` on hot-path classes.
+  Run as ``python -m repro.verify.lint``.
+"""
+
+from .modelcheck import CheckResult, ModelConfig, ProtocolModel, check
+from .sanitize import SanitizedFabric, SanitizedSimulator, Sanitizer
+
+__all__ = [
+    "CheckResult",
+    "ModelConfig",
+    "ProtocolModel",
+    "SanitizedFabric",
+    "SanitizedSimulator",
+    "Sanitizer",
+    "check",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.verify.lint``: run the determinism lint."""
+
+from .lint_determinism import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,862 @@
+"""Explicit-state model checker for the directory protocol.
+
+The MSI/MESI transition relation implemented operationally across
+:mod:`repro.coherence.directory`, :mod:`repro.coherence.home`, and
+:mod:`repro.coherence.l2ctrl` is restated here as an explicit FSM over a
+deliberately tiny abstraction, and the reachable state space is
+enumerated by BFS.
+
+**Abstraction.**  One memory block, ``nodes`` caching nodes (one
+processor stack each), one home endpoint, and one switch endpoint that
+sits on every node<->home path (the paper's BMIN collapsed to a single
+stage).  Block payloads are write counters exactly as in the simulator:
+every completed store is ``data + 1``, so a copy's integer version
+identifies which write it observed.  Message channels are per-origin
+FIFO lanes — ``n2s[i]`` (node i to switch), ``s2h[i]`` (switch to home),
+``h2s[i]`` (home to switch, traffic addressed to node i), ``s2n[i]``
+(switch to node i) — which preserves the real fabric's guarantee that
+two messages on the same route stay ordered (a corrective invalidation
+chases the stale reply it corrects) while letting different nodes'
+traffic interleave arbitrarily.
+
+**State encoding** (a nested tuple, hashable):
+
+``(caches, directory, home, procs, switch, channels)``
+
+* ``caches[i] = (state, version)`` with state in ``I S E M``;
+* ``directory = (state, sharers, owner, version)`` with state in
+  ``U S M`` — the memory image version is stale while MODIFIED, as in
+  :class:`~repro.coherence.directory.DirEntry`;
+* ``home = (active_txn | None, pending)`` — the per-block FIFO of
+  :class:`~repro.coherence.home.HomeController` (transient states are
+  realized by queuing);
+* ``procs[i] = (op_budget, mshr | None)`` with
+  ``mshr = (kind, pending_inval)`` — the DASH-style late-invalidation
+  flag that turns an in-flight reply into use-once data;
+* ``switch = version | None`` — the switch cache holds at most the one
+  block, structurally clean-SHARED (deposits come only from ``DATA_S``);
+* ``channels`` — the four lane groups above.
+
+**Nondeterminism.**  Every enabled action is explored: which lane
+delivers next, whether a ``READ`` passing a full switch cache is
+intercepted or bypassed (the CAESAR tag-backlog policy), whether a
+``DATA_S`` passing the switch is deposited or skipped (data-backlog
+policy), cache and switch evictions, and the memory-completion
+interleaving at the home (acks may arrive before or after the memory
+read finishes, as in ``_write_maybe_finish``).
+
+**Invariants.**  Checked on every reachable state:
+
+* SWMR — at most one E/M copy machine-wide;
+* a copy whose version exceeds the home image implies the directory is
+  MODIFIED with that node as owner (dirty data is always tracked);
+* the switch copy's version never exceeds the home image;
+* every terminal state is quiescent (no stuck states).
+
+Checked on every *quiescent* state (all channels empty, home idle, no
+MSHRs) — legal transient windows make these too strong per-state, e.g.
+a stale SHARED copy may coexist with a new owner until the corrective
+invalidation lands:
+
+* dir MODIFIED implies the owner (and only the owner) holds an owned
+  copy and the switch holds nothing;
+* dir SHARED/UNOWNED implies no owned copies, every SHARED holder is a
+  registered sharer at the home image's version, and the switch copy
+  (if any) matches the home image.
+
+``MUTATIONS`` name deliberate protocol bugs used to validate that the
+checker actually detects violations (see ``tests/test_verify.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: cache line states
+I, S, E, M = "I", "S", "E", "M"
+#: directory states
+DU, DS, DM = "U", "S", "M"
+
+#: deliberate protocol bugs, each of which the checker must flag:
+#: ``skip_inv``       — the home forgets to invalidate one sharer on a write
+#: ``bad_dir_update`` — a DIR_UPDATE that finds the block MODIFIED registers
+#:                      the reader instead of sending the corrective
+#:                      invalidation (a flipped directory transition)
+#: ``no_snoop``       — the switch cache ignores INV snoops and retains a
+#:                      stale version
+#: ``drop_ack``       — a node invalidates on INV but never acknowledges
+MUTATIONS = ("skip_inv", "bad_dir_update", "no_snoop", "drop_ack")
+
+State = Tuple  # nested-tuple encoding described in the module docstring
+Action = Tuple
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One model-checking configuration.
+
+    ``ops_per_node`` may be a single budget shared by every node or a
+    per-node tuple.  Asymmetric budgets like ``(2, 1, 1)`` keep a 3-node
+    space tractable while still covering every race class that needs a
+    third participant (multi-sharer invalidation fan-out, a depositor
+    distinct from both the racing reader and writer): the deep two-party
+    races are already exhausted by the symmetric 2-node configuration.
+    """
+
+    protocol: str = "msi"  # "msi" | "mesi"
+    nodes: int = 3
+    ops_per_node: object = 2  # int, or a per-node tuple of ints
+    switch: bool = True
+    mutation: Optional[str] = None
+
+    def budgets(self) -> Tuple[int, ...]:
+        ops = self.ops_per_node
+        if isinstance(ops, int):
+            return (ops,) * self.nodes
+        budgets = tuple(int(b) for b in ops)
+        if len(budgets) != self.nodes:
+            raise ValueError(
+                f"ops_per_node {ops!r} does not match nodes={self.nodes}"
+            )
+        return budgets
+
+    def label(self) -> str:
+        ops = self.ops_per_node
+        ops_tag = str(ops) if isinstance(ops, int) else \
+            ",".join(str(b) for b in ops)
+        tag = f"{self.protocol} nodes={self.nodes} ops={ops_tag} " \
+              f"switch={'on' if self.switch else 'off'}"
+        if self.mutation:
+            tag += f" mutation={self.mutation}"
+        return tag
+
+
+@dataclass
+class Violation:
+    kind: str  # "state" | "quiescence" | "transition" | "stuck"
+    message: str
+    trace: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+
+@dataclass
+class CheckResult:
+    config: ModelConfig
+    states: int = 0
+    transitions: int = 0
+    terminal: int = 0
+    quiescent: int = 0
+    complete: bool = True
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.complete and not self.violations
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else (
+            f"{len(self.violations)} violation(s)" if self.violations
+            else "incomplete"
+        )
+        return (
+            f"{self.config.label():<44s} states={self.states:>7d} "
+            f"transitions={self.transitions:>8d} "
+            f"quiescent={self.quiescent:>5d} {status}"
+        )
+
+
+class _Txn:
+    """Mutable working copy of one active home transaction."""
+
+    __slots__ = ("kind", "req", "reply", "acks", "memp", "ready",
+                 "awo", "awb", "over")
+
+    def __init__(self, kind: str, req: int, reply: Optional[str]) -> None:
+        self.kind = kind      # "read" | "write" | "upgrade" | "dir_update"
+        self.req = req
+        self.reply = reply    # "S" | "X" | "ACK" | None
+        self.acks = 0         # invalidation acks outstanding
+        self.memp = False     # memory/directory access event outstanding
+        self.ready = False    # write data/ack path ready to finish
+        self.awo = False      # awaiting_owner_data (recall in flight)
+        self.awb = False      # awaiting_wb (owner's writeback in flight)
+        self.over: Optional[int] = None  # owner_version
+
+    def encode(self) -> Tuple:
+        return (self.kind, self.req, self.reply, self.acks, self.memp,
+                self.ready, self.awo, self.awb, self.over)
+
+    @staticmethod
+    def decode(t: Tuple) -> "_Txn":
+        txn = _Txn(t[0], t[1], t[2])
+        (txn.acks, txn.memp, txn.ready, txn.awo, txn.awb, txn.over) = t[3:]
+        return txn
+
+
+class _W:
+    """Mutable working copy of one model state (decode -> mutate -> encode)."""
+
+    __slots__ = ("caches", "ds", "sharers", "owner", "dver", "active",
+                 "pending", "procs", "sw", "n2s", "s2h", "h2s", "s2n", "viol")
+
+    def __init__(self, state: State) -> None:
+        caches, directory, home, procs, sw, chans = state
+        self.caches = [list(c) for c in caches]
+        self.ds, sharers, self.owner, self.dver = directory
+        self.sharers = set(sharers)
+        active, pending = home
+        self.active = _Txn.decode(active) if active is not None else None
+        self.pending = list(pending)
+        self.procs = [[b, list(m) if m is not None else None]
+                      for b, m in procs]
+        self.sw = sw
+        self.n2s = [list(lane) for lane in chans[0]]
+        self.s2h = [list(lane) for lane in chans[1]]
+        self.h2s = [list(lane) for lane in chans[2]]
+        self.s2n = [list(lane) for lane in chans[3]]
+        self.viol: List[str] = []
+
+    def encode(self) -> State:
+        return (
+            tuple(tuple(c) for c in self.caches),
+            (self.ds, tuple(sorted(self.sharers)), self.owner, self.dver),
+            (self.active.encode() if self.active is not None else None,
+             tuple(self.pending)),
+            tuple((b, tuple(m) if m is not None else None)
+                  for b, m in self.procs),
+            self.sw,
+            (tuple(tuple(lane) for lane in self.n2s),
+             tuple(tuple(lane) for lane in self.s2h),
+             tuple(tuple(lane) for lane in self.h2s),
+             tuple(tuple(lane) for lane in self.s2n)),
+        )
+
+
+class ProtocolModel:
+    """The protocol FSM: initial state, enabled actions, invariants."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        if config.protocol not in ("msi", "mesi"):
+            raise ValueError(f"unknown protocol {config.protocol!r}")
+        if config.mutation is not None and config.mutation not in MUTATIONS:
+            raise ValueError(f"unknown mutation {config.mutation!r}")
+        self.cfg = config
+
+    # ------------------------------------------------------------------
+    # states
+    # ------------------------------------------------------------------
+    def initial(self) -> State:
+        n = self.cfg.nodes
+        empty = tuple(() for _ in range(n))
+        return (
+            tuple((I, 0) for _ in range(n)),
+            (DU, (), None, 0),
+            (None, ()),
+            tuple((budget, None) for budget in self.cfg.budgets()),
+            None,
+            (empty, empty, empty, empty),
+        )
+
+    def is_quiescent(self, state: State) -> bool:
+        _caches, _directory, home, procs, _sw, chans = state
+        if home[0] is not None or home[1]:
+            return False
+        if any(m is not None for _b, m in procs):
+            return False
+        return all(not lane for group in chans for lane in group)
+
+    # ------------------------------------------------------------------
+    # enabled actions and successors
+    # ------------------------------------------------------------------
+    def successors(self, state: State) -> List[Tuple[Action, State, List[str]]]:
+        cfg = self.cfg
+        caches, _directory, home, procs, sw, chans = state
+        actions: List[Action] = []
+        for i in range(cfg.nodes):
+            budget, mshr = procs[i]
+            if mshr is None:
+                if budget:
+                    actions.append(("read", i))
+                    actions.append(("write", i))
+                if caches[i][0] != I:
+                    actions.append(("evict", i))
+        for i in range(cfg.nodes):
+            lane = chans[0][i]
+            if lane:
+                if cfg.switch and sw is not None and lane[0][0] == "READ":
+                    actions.append(("n2s", i, "intercept"))
+                actions.append(("n2s", i, "forward"))
+        for i in range(cfg.nodes):
+            if chans[1][i]:
+                actions.append(("s2h", i))
+        for i in range(cfg.nodes):
+            lane = chans[2][i]
+            if lane:
+                if cfg.switch and lane[0][0] == "DATA_S":
+                    actions.append(("h2s", i, "deposit"))
+                    actions.append(("h2s", i, "skip"))
+                else:
+                    actions.append(("h2s", i, "forward"))
+        for i in range(cfg.nodes):
+            if chans[3][i]:
+                actions.append(("s2n", i))
+        if sw is not None:
+            actions.append(("sw_evict",))
+        if home[0] is not None and home[0][4]:  # active txn, memp set
+            actions.append(("mem",))
+        return [self._apply(state, action) for action in actions]
+
+    def _apply(self, state: State, action: Action) -> Tuple[Action, State, List[str]]:
+        w = _W(state)
+        kind = action[0]
+        if kind == "read":
+            self._op_read(w, action[1])
+        elif kind == "write":
+            self._op_write(w, action[1])
+        elif kind == "evict":
+            self._op_evict(w, action[1])
+        elif kind == "sw_evict":
+            w.sw = None
+        elif kind == "n2s":
+            self._switch_up(w, action[1], action[2])
+        elif kind == "s2h":
+            src = action[1]
+            self._home_receive(w, src, w.s2h[src].pop(0))
+        elif kind == "h2s":
+            self._switch_down(w, action[1], action[2])
+        elif kind == "s2n":
+            dst = action[1]
+            self._node_receive(w, dst, w.s2n[dst].pop(0))
+        elif kind == "mem":
+            self._mem_done(w)
+        else:  # pragma: no cover - action construction is closed above
+            raise AssertionError(f"unknown action {action!r}")
+        return action, w.encode(), w.viol
+
+    # ------------------------------------------------------------------
+    # processor-side actions (cluster bus collapsed to one stack per node)
+    # ------------------------------------------------------------------
+    def _op_read(self, w: _W, i: int) -> None:
+        w.procs[i][0] -= 1
+        st, _ver = w.caches[i]
+        if st == I:
+            w.procs[i][1] = ["read", False]
+            w.n2s[i].append(("READ",))
+        # S/E/M: cache hit, no protocol traffic
+
+    def _op_write(self, w: _W, i: int) -> None:
+        w.procs[i][0] -= 1
+        st, ver = w.caches[i]
+        if st == M:
+            w.caches[i][1] = ver + 1
+        elif st == E:
+            w.caches[i] = [M, ver + 1]  # silent MESI upgrade
+        elif st == S:
+            w.procs[i][1] = ["upgrade", False]
+            w.n2s[i].append(("UPGRADE",))
+        else:
+            w.procs[i][1] = ["write", False]
+            w.n2s[i].append(("READX",))
+
+    def _op_evict(self, w: _W, i: int) -> None:
+        st, ver = w.caches[i]
+        w.caches[i] = [I, 0]
+        if st in (E, M):
+            # owned victims (and MESI replacement notifications) go home
+            w.n2s[i].append(("WRITEBACK", ver))
+
+    # ------------------------------------------------------------------
+    # switch endpoint (CAESAR hooks per message direction)
+    # ------------------------------------------------------------------
+    def _switch_up(self, w: _W, i: int, choice: str) -> None:
+        msg = w.n2s[i].pop(0)
+        if choice == "intercept":
+            # READ hit: fabricated clean-SHARED reply retraces the path,
+            # the request continues to the home as a 1-flit DIR_UPDATE
+            # carrying the version the switch served (so the home can
+            # detect staleness even after the directory left MODIFIED)
+            w.s2n[i].append(("DATA_S", w.sw))
+            w.s2h[i].append(("DIR_UPDATE", i, w.sw))
+        else:
+            w.s2h[i].append(msg)
+
+    def _switch_down(self, w: _W, i: int, choice: str) -> None:
+        msg = w.h2s[i].pop(0)
+        if choice == "deposit":
+            w.sw = msg[1]
+        elif (msg[0] == "INV" and self.cfg.switch
+                and self.cfg.mutation != "no_snoop"):
+            w.sw = None  # snoop purge (CaesarEngine.snoop)
+        w.s2n[i].append(msg)
+
+    # ------------------------------------------------------------------
+    # home endpoint (HomeController + Directory)
+    # ------------------------------------------------------------------
+    def _home_receive(self, w: _W, src: int, msg: Tuple) -> None:
+        kind = msg[0]
+        if kind in ("READ", "READX", "UPGRADE", "DIR_UPDATE"):
+            if w.active is not None:
+                w.pending.append((src, msg))  # per-block FIFO
+            else:
+                self._home_start(w, src, msg)
+        elif kind == "INV_ACK":
+            txn = w.active
+            if txn is None:
+                w.viol.append(f"stray INV_ACK from node {src} at home")
+                return
+            txn.acks -= 1
+            if txn.acks < 0:
+                w.viol.append("too many INV_ACKs for the active transaction")
+                return
+            self._write_maybe_finish(w)
+        elif kind == "RECALL_REPLY":
+            self._on_recall_reply(w, msg[1])
+        elif kind == "WRITEBACK":
+            self._on_writeback(w, src, msg[1])
+        else:
+            w.viol.append(f"home got unexpected {kind}")
+
+    def _home_start(self, w: _W, src: int, msg: Tuple) -> None:
+        kind = msg[0]
+        if kind == "READ":
+            txn = _Txn("read", src, "S")
+            w.active = txn
+            if w.ds == DM:
+                if w.owner == src:
+                    txn.awb = True  # requester's own writeback in flight
+                else:
+                    txn.awo = True
+                    w.h2s[w.owner].append(("RECALL",))
+            else:
+                txn.memp = True  # memory read outstanding
+        elif kind in ("READX", "UPGRADE"):
+            upgrade = kind == "UPGRADE"
+            reply = ("ACK" if upgrade and w.ds == DS and src in w.sharers
+                     else "X")
+            txn = _Txn("upgrade" if upgrade else "write", src, reply)
+            w.active = txn
+            if w.ds == DM:
+                if w.owner == src:
+                    txn.awb = True
+                else:
+                    txn.awo = True
+                    w.h2s[w.owner].append(("RECALL_X",))
+                return
+            targets = sorted(w.sharers)
+            if self.cfg.mutation == "skip_inv":
+                others = [t for t in targets if t != src]
+                if others:
+                    targets.remove(others[-1])  # one sharer never invalidated
+            txn.acks = len(targets)
+            for tgt in targets:
+                # the requester itself gets a purge-only INV that cleans
+                # the switch copies on its path without dropping its line
+                w.h2s[tgt].append(("INV", tgt == src, False))
+            txn.memp = True  # memory read (X) or DIR_CYCLES (ACK)
+        elif kind == "DIR_UPDATE":
+            req, served = msg[1], msg[2]
+            txn = _Txn("dir_update", req, None)
+            w.active = txn
+            # the reply was stale if the block is MODIFIED now (image
+            # version lags the owner) or if the served version no longer
+            # matches the image (a write completed AND retired in between)
+            stale = w.ds == DM or served != w.dver
+            if stale and self.cfg.mutation != "bad_dir_update":
+                # corrective invalidation chases the stale reply
+                w.h2s[req].append(("INV", False, True))  # no_ack
+            else:
+                self._add_sharer(w, req)
+            txn.memp = True  # DIR_CYCLES
+        else:  # pragma: no cover - guarded by _home_receive
+            w.viol.append(f"cannot start {kind}")
+
+    def _add_sharer(self, w: _W, node: int) -> None:
+        if w.ds == DM:
+            w.viol.append(
+                f"add_sharer on MODIFIED block (owner {w.owner})"
+            )
+            return
+        w.ds = DS
+        w.sharers.add(node)
+
+    def _mem_done(self, w: _W) -> None:
+        txn = w.active
+        txn.memp = False
+        if txn.kind == "read":
+            if self.cfg.protocol == "mesi" and w.ds == DU:
+                # sole reader gets a clean-exclusive grant
+                w.ds, w.owner, w.sharers = DM, txn.req, set()
+                w.h2s[txn.req].append(("DATA_E", w.dver))
+            else:
+                self._add_sharer(w, txn.req)
+                w.h2s[txn.req].append(("DATA_S", w.dver))
+            self._complete(w)
+        elif txn.kind == "dir_update":
+            self._complete(w)
+        else:
+            txn.ready = True
+            self._write_maybe_finish(w)
+
+    def _write_maybe_finish(self, w: _W) -> None:
+        txn = w.active
+        if txn.acks > 0 or not txn.ready:
+            return
+        if txn.reply == "ACK":
+            w.sharers = set()
+            w.ds, w.owner = DM, txn.req  # image version unchanged
+            w.h2s[txn.req].append(("UPGR_ACK",))
+        else:
+            version = txn.over if txn.over is not None else w.dver
+            w.sharers = set()
+            w.ds, w.owner, w.dver = DM, txn.req, version
+            w.h2s[txn.req].append(("DATA_X", version))
+        self._complete(w)
+
+    def _on_recall_reply(self, w: _W, version: Optional[int]) -> None:
+        txn = w.active
+        if txn is None or not txn.awo:
+            if version is None:
+                return  # benign late reply; the writeback already served us
+            w.viol.append("stray RECALL_REPLY at home")
+            return
+        if version is None:
+            # owner evicted before the recall arrived; its writeback is
+            # in flight on the same path and will supply the data
+            txn.awo = False
+            txn.awb = True
+            if txn.over is not None:
+                self._owner_data_ready(w)
+        else:
+            txn.awo = False
+            txn.over = version
+            self._owner_data_ready(w)
+
+    def _on_writeback(self, w: _W, src: int, version: int) -> None:
+        if w.ds == DM and w.owner == src:
+            w.ds, w.owner, w.dver = DU, None, version
+        txn = w.active
+        if txn is not None and (txn.awb or txn.awo):
+            txn.over = version
+            if txn.awb:
+                txn.awb = False
+                self._owner_data_ready(w)
+            # if still awaiting the recall reply, _on_recall_reply will
+            # notice over is set and finish then
+
+    def _owner_data_ready(self, w: _W) -> None:
+        txn = w.active
+        version = txn.over
+        if version is None:
+            w.viol.append("owner data ready without a version")
+            return
+        if txn.kind == "read":
+            if w.ds == DM:
+                old_owner = w.owner
+                w.ds, w.owner, w.dver = DU, None, version
+                self._add_sharer(w, old_owner)  # recall keeps an S copy
+            else:
+                w.dver = version
+            self._add_sharer(w, txn.req)
+            w.h2s[txn.req].append(("DATA_S", version))
+            self._complete(w)
+        else:
+            if w.ds == DM:
+                w.ds, w.owner, w.dver = DU, None, version
+            else:
+                w.dver = version
+            txn.ready = True
+            self._write_maybe_finish(w)
+
+    def _complete(self, w: _W) -> None:
+        w.active = None
+        if w.pending:
+            src, msg = w.pending.pop(0)
+            self._home_start(w, src, msg)
+
+    # ------------------------------------------------------------------
+    # node endpoint (NodeController against a one-line cache)
+    # ------------------------------------------------------------------
+    def _node_receive(self, w: _W, i: int, msg: Tuple) -> None:
+        kind = msg[0]
+        mshr = w.procs[i][1]
+        if kind in ("DATA_S", "DATA_E"):
+            if mshr is None or mshr[0] != "read":
+                w.viol.append(f"node {i}: {kind} reply matches no read MSHR")
+                return
+            w.procs[i][1] = None
+            if mshr[1]:
+                return  # late invalidation: use-once data, install nowhere
+            w.caches[i] = [S if kind == "DATA_S" else E, msg[1]]
+        elif kind == "DATA_X":
+            if mshr is None or mshr[0] not in ("write", "upgrade"):
+                w.viol.append(f"node {i}: DATA_X reply matches no MSHR")
+                return
+            w.procs[i][1] = None
+            # fill MODIFIED and apply the drained store atomically
+            w.caches[i] = [M, msg[1] + 1]
+        elif kind == "UPGR_ACK":
+            if mshr is None:
+                w.viol.append(f"node {i}: UPGR_ACK matches no MSHR")
+                return
+            w.procs[i][1] = None
+            st, ver = w.caches[i]
+            if st != S:
+                w.viol.append(
+                    f"node {i}: UPGR_ACK but line is {st} — the home "
+                    f"should have escalated to READX"
+                )
+                return
+            w.caches[i] = [M, ver + 1]
+        elif kind == "INV":
+            purge_only, no_ack = msg[1], msg[2]
+            if not purge_only:
+                w.caches[i] = [I, 0]
+                if mshr is not None and mshr[0] == "read":
+                    mshr[1] = True  # mark the in-flight reply use-once
+            if not no_ack:
+                if self.cfg.mutation == "drop_ack" and not purge_only:
+                    pass  # the mutated node "forgets" its acknowledgement
+                else:
+                    w.n2s[i].append(("INV_ACK",))
+        elif kind == "RECALL":
+            st, ver = w.caches[i]
+            if st in (E, M):
+                w.caches[i] = [S, ver]
+                w.n2s[i].append(("RECALL_REPLY", ver))
+            else:
+                w.n2s[i].append(("RECALL_REPLY", None))  # eviction raced it
+        elif kind == "RECALL_X":
+            st, ver = w.caches[i]
+            reply = ver if st in (E, M) else None
+            w.caches[i] = [I, 0]  # ownership moves off-node: purge everything
+            w.n2s[i].append(("RECALL_REPLY", reply))
+        else:
+            w.viol.append(f"node {i} got unexpected {kind}")
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def check_state(self, state: State) -> List[Violation]:
+        caches, (ds, sharers, owner, dver), _home, _procs, sw, _chans = state
+        found: List[Violation] = []
+        owned = [i for i, (st, _v) in enumerate(caches) if st in (E, M)]
+        if len(owned) > 1:
+            found.append(Violation(
+                "state", f"SWMR violated: owned copies at nodes {owned}"
+            ))
+        for i, (st, ver) in enumerate(caches):
+            if st != I and ver > dver and not (ds == DM and owner == i):
+                found.append(Violation(
+                    "state",
+                    f"node {i} holds {st} v{ver} newer than home image "
+                    f"v{dver} without ownership (dir {ds} owner {owner})",
+                ))
+        if sw is not None and sw > dver:
+            found.append(Violation(
+                "state", f"switch copy v{sw} newer than home image v{dver}"
+            ))
+        if self.is_quiescent(state):
+            found.extend(self._check_quiescent(state))
+        return found
+
+    def _check_quiescent(self, state: State) -> List[Violation]:
+        caches, (ds, sharers, owner, dver), _h, _p, sw, _c = state
+        found: List[Violation] = []
+        if ds == DM:
+            if owner is None or caches[owner][0] not in (E, M):
+                found.append(Violation(
+                    "quiescence",
+                    f"dir MODIFIED owner {owner} holds no owned copy",
+                ))
+            for i, (st, _v) in enumerate(caches):
+                if i != owner and st != I:
+                    found.append(Violation(
+                        "quiescence",
+                        f"node {i} holds {st} while dir MODIFIED "
+                        f"(owner {owner})",
+                    ))
+            if sw is not None:
+                found.append(Violation(
+                    "quiescence", "switch copy while dir MODIFIED"
+                ))
+        else:
+            for i, (st, ver) in enumerate(caches):
+                if st in (E, M):
+                    found.append(Violation(
+                        "quiescence", f"node {i} holds {st} while dir {ds}"
+                    ))
+                elif st == S:
+                    if i not in sharers:
+                        found.append(Violation(
+                            "quiescence",
+                            f"node {i} holds S but is not a registered sharer",
+                        ))
+                    if ver != dver:
+                        found.append(Violation(
+                            "quiescence",
+                            f"node {i} S copy v{ver} != home image v{dver}",
+                        ))
+            if sw is not None and sw != dver:
+                found.append(Violation(
+                    "quiescence",
+                    f"switch copy v{sw} != home image v{dver}",
+                ))
+        return found
+
+
+class ModelChecker:
+    """BFS driver over a :class:`ProtocolModel`'s reachable state space."""
+
+    def __init__(self, config: ModelConfig, max_states: int = 2_000_000,
+                 max_violations: int = 25) -> None:
+        self.model = ProtocolModel(config)
+        self.max_states = max_states
+        self.max_violations = max_violations
+
+    def run(self) -> CheckResult:
+        model = self.model
+        result = CheckResult(model.cfg)
+        init = model.initial()
+        # parent pointers double as the visited set (for violation traces)
+        seen: Dict[State, Optional[Tuple[State, Action]]] = {init: None}
+        frontier = deque([init])
+        self._record(result, seen, init, model.check_state(init))
+        while frontier:
+            if len(seen) > self.max_states:
+                result.complete = False
+                break
+            if len(result.violations) >= self.max_violations:
+                result.complete = False
+                break
+            state = frontier.popleft()
+            successors = model.successors(state)
+            if not successors:
+                result.terminal += 1
+                if not model.is_quiescent(state):
+                    self._record(result, seen, state, [Violation(
+                        "stuck",
+                        "terminal state is not quiescent (protocol wedged)",
+                    )])
+            for action, succ, transition_viols in successors:
+                result.transitions += 1
+                if transition_viols and succ not in seen:
+                    seen[succ] = (state, action)
+                    self._record(result, seen, succ, [
+                        Violation("transition", msg)
+                        for msg in transition_viols
+                    ])
+                    continue  # do not expand past a protocol exception
+                if succ not in seen:
+                    seen[succ] = (state, action)
+                    frontier.append(succ)
+                    self._record(
+                        result, seen, succ, model.check_state(succ)
+                    )
+        result.states = len(seen)
+        result.quiescent = sum(
+            1 for state in seen if model.is_quiescent(state)
+        )
+        return result
+
+    def _record(self, result: CheckResult,
+                seen: Dict[State, Optional[Tuple[State, Action]]],
+                state: State, violations: Sequence[Violation]) -> None:
+        if not violations:
+            return
+        trace = self._trace(seen, state)
+        for violation in violations:
+            if len(result.violations) >= self.max_violations:
+                return
+            violation.trace = trace
+            result.violations.append(violation)
+
+    @staticmethod
+    def _trace(seen: Dict[State, Optional[Tuple[State, Action]]],
+               state: State) -> Tuple[str, ...]:
+        labels: List[str] = []
+        while True:
+            parent = seen.get(state)
+            if parent is None:
+                break
+            state, action = parent
+            labels.append(":".join(str(part) for part in action))
+        return tuple(reversed(labels))
+
+
+def check(protocol: str = "msi", nodes: int = 3, ops_per_node: object = 2,
+          switch: bool = True, mutation: Optional[str] = None,
+          max_states: int = 2_000_000) -> CheckResult:
+    """Enumerate one configuration and return the :class:`CheckResult`."""
+    config = ModelConfig(
+        protocol=protocol, nodes=nodes, ops_per_node=ops_per_node,
+        switch=switch, mutation=mutation,
+    )
+    return ModelChecker(config, max_states=max_states).run()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.modelcheck",
+        description="Exhaustively enumerate the directory protocol's "
+                    "reachable state space and check its invariants.",
+    )
+    parser.add_argument("--protocol", choices=("msi", "mesi", "both"),
+                        default="both")
+    parser.add_argument("--nodes", type=int, default=3,
+                        help="caching nodes (default 3)")
+    parser.add_argument("--ops", default=None,
+                        help="read/write budget: one int shared by every "
+                             "node or a comma list, e.g. 2,1,1 (default: "
+                             "2 for <=2 nodes, else 2,1,1,...)")
+    parser.add_argument("--switch", choices=("on", "off", "both"),
+                        default="both",
+                        help="switch cache on the reply path (default both)")
+    parser.add_argument("--mutation", choices=MUTATIONS, default=None,
+                        help="inject a deliberate protocol bug (the run "
+                             "must then report violations)")
+    parser.add_argument("--max-states", type=int, default=2_000_000)
+    parser.add_argument("--trace", action="store_true",
+                        help="print the action trace leading to each "
+                             "violation")
+    args = parser.parse_args(argv)
+
+    if args.ops is None:
+        ops: object = 2 if args.nodes <= 2 else (2,) + (1,) * (args.nodes - 1)
+    elif "," in args.ops:
+        ops = tuple(int(b) for b in args.ops.split(","))
+    else:
+        ops = int(args.ops)
+
+    protocols = ("msi", "mesi") if args.protocol == "both" else (args.protocol,)
+    switches = {"on": (True,), "off": (False,), "both": (True, False)}[args.switch]
+    results = []
+    for protocol in protocols:
+        for switch in switches:
+            result = check(
+                protocol=protocol, nodes=args.nodes, ops_per_node=ops,
+                switch=switch, mutation=args.mutation,
+                max_states=args.max_states,
+            )
+            results.append(result)
+            print(result.summary())
+            for violation in result.violations[:10]:
+                print(f"    {violation}")
+                if args.trace and violation.trace:
+                    print(f"      via {' -> '.join(violation.trace)}")
+    failed = [r for r in results if not r.ok]
+    if args.mutation:
+        # a mutated protocol MUST be caught: invert the exit status
+        caught = all(r.violations for r in results)
+        print(f"mutation {args.mutation}: "
+              f"{'caught' if caught else 'NOT caught'}")
+        return 0 if caught else 1
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -106,12 +106,13 @@ def test_runcache_disabled_by_default(isolated_caches):
 def test_runcache_version_mismatch_misses(isolated_caches, monkeypatch):
     runcache.set_enabled(True)
     config = base_config()
+    current = runcache.CACHE_FORMAT_VERSION
     first = common.run("GS", "quick", config)
-    monkeypatch.setattr(runcache, "CACHE_FORMAT_VERSION", 2)
+    monkeypatch.setattr(runcache, "CACHE_FORMAT_VERSION", current + 1)
     assert runcache.load("GS", "quick", config) is None
     # a fresh store under the new version must not clobber the old entry
     runcache.store("GS", "quick", config, first.to_payload())
-    monkeypatch.setattr(runcache, "CACHE_FORMAT_VERSION", 1)
+    monkeypatch.setattr(runcache, "CACHE_FORMAT_VERSION", current)
     assert runcache.load("GS", "quick", config) is not None
 
 
