@@ -94,6 +94,7 @@ class HomeController:
         protocol: str = "msi",
     ) -> None:
         self.sim = sim
+        self._tracer = sim.tracer  # installed before construction
         self.node_id = node_id
         self.directory = directory
         self.memory = memory
@@ -102,6 +103,7 @@ class HomeController:
         self.protocol = protocol
         self._active: Dict[int, HomeTxn] = {}
         self._pending: Dict[int, Deque[Message]] = {}
+        self.trace_track = f"home{node_id}"
         # statistics
         self.reads_served = 0
         self.reads_recalled = 0
@@ -175,6 +177,21 @@ class HomeController:
     def _start_read(self, txn: HomeTxn) -> None:
         entry = self.directory.entry(txn.block)
         txn.reply_kind = MsgKind.DATA_S
+        tracer = self._tracer
+        if tracer is not None:
+            now = self.sim.now
+            tracer.instant(
+                self.trace_track, "read", now,
+                {
+                    "addr": txn.block, "requester": txn.requester,
+                    "state": entry.state.name,
+                    "recalled": entry.state is DirState.MODIFIED,
+                },
+            )
+            tracer.counter(
+                self.trace_track, "mem_backlog", now,
+                max(0, self.memory.array.free_at() - now),
+            )
         if entry.state is DirState.MODIFIED:
             self.reads_recalled += 1
             if entry.owner == txn.requester:
@@ -206,6 +223,16 @@ class HomeController:
     def _start_write(self, txn: HomeTxn, upgrade: bool) -> None:
         entry = self.directory.entry(txn.block)
         requester = txn.requester
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                self.trace_track, "upgrade" if upgrade else "write",
+                self.sim.now,
+                {
+                    "addr": txn.block, "requester": requester,
+                    "state": entry.state.name, "invs": len(entry.sharers),
+                },
+            )
         if upgrade and entry.state is DirState.SHARED and requester in entry.sharers:
             # true upgrade: no data needed
             txn.reply_kind = MsgKind.UPGR_ACK
@@ -285,6 +312,17 @@ class HomeController:
         stale = entry.state is DirState.MODIFIED or (
             served is not None and served != entry.version
         )
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                self.trace_track, "dir_update", self.sim.now,
+                {"addr": txn.block, "requester": requester, "stale": stale},
+            )
+            if stale:
+                tracer.instant(
+                    self.trace_track, "corrective_inv", self.sim.now,
+                    {"addr": txn.block, "requester": requester},
+                )
         if stale:
             # a write slipped between the switch hit and this update: the
             # requester received stale data — chase it with an invalidation
@@ -354,6 +392,12 @@ class HomeController:
 
     def _on_writeback(self, msg: Message) -> None:
         self.writebacks += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                self.trace_track, "writeback", self.sim.now,
+                {"addr": msg.addr, "owner": msg.src},
+            )
         block = self._block(msg.addr)
         txn = self._active.get(block)
         entry = self.directory.entry(block)

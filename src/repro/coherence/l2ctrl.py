@@ -47,6 +47,7 @@ class NodeController:
         probe_netcache: bool = True,
     ) -> None:
         self.sim = sim
+        self._tracer = sim.tracer  # installed before construction
         self.node_id = node_id
         self.hierarchy = hierarchy
         self.ni = ni
@@ -313,6 +314,14 @@ class NodeController:
 
     def _finish(self, txn: Transaction) -> None:
         txn.completed_at = self.sim.now
+        tracer = self._tracer
+        if tracer is not None:
+            proc = self.proc_id if self.proc_id is not None else self.node_id
+            tracer.async_span(
+                f"proc{proc}", txn.kind, "txn", txn.id,
+                txn.issued_at, txn.completed_at,
+                {"addr": txn.addr, "served_by": txn.served_by},
+            )
         if txn.callback is not None:
             txn.callback(txn)
 

@@ -37,12 +37,15 @@ class CaesarEngine:
         policy: Optional[CachingPolicy] = None,
     ) -> None:
         self.sim = sim
+        self._tracer = sim.tracer  # installed before construction
         self.switch_id = switch_id
         self.stage = switch_id[0]
         self.geo = geometry
         self.policy = policy if policy is not None else CachingPolicy()
         self.sram = SwitchCacheSRAM(sim, geometry, name=f"sc{switch_id}")
         self._enabled = self.policy.stage_enabled(self.stage)
+        # same tracer track as the owning switch (see Switch.trace_track)
+        self.trace_track = f"switch{switch_id[0]}.{switch_id[1]}"
         # statistics
         self.lookups = 0
         self.hits = 0
@@ -62,6 +65,12 @@ class CaesarEngine:
         purged, _done = self.sram.snoop_invalidate(msg.addr)
         if purged:
             self.purges += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.instant(
+                    self.trace_track, "sc_purge", self.sim.now,
+                    {"addr": msg.addr},
+                )
 
     def try_deposit(self, msg: Message) -> bool:
         """DATA_S passing through: capture the block unless the bank is busy."""
@@ -70,8 +79,18 @@ class CaesarEngine:
         if not self.policy.should_deposit(self.sram.data_backlog(msg.addr)):
             self.deposit_skips += 1
             return False
-        self.sram.write(msg.addr, msg.data)
+        _done, victim_addr = self.sram.write(msg.addr, msg.data)
         self.deposits += 1
+        tracer = self._tracer
+        if tracer is not None:
+            now = self.sim.now
+            tracer.instant(
+                self.trace_track, "sc_deposit", now, {"addr": msg.addr}
+            )
+            if victim_addr is not None:
+                tracer.instant(
+                    self.trace_track, "sc_evict", now, {"addr": victim_addr}
+                )
         return True
 
     def try_intercept(self, msg: Message) -> Optional[Tuple[int, int]]:
@@ -80,9 +99,21 @@ class CaesarEngine:
             return None
         if not self.policy.should_check(self.sram.tag_backlog()):
             self.bypasses += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.instant(
+                    self.trace_track, "sc_bypass", self.sim.now,
+                    {"addr": msg.addr},
+                )
             return None
         self.lookups += 1
         data, done = self.sram.read(msg.addr)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                self.trace_track, "sc_probe", self.sim.now,
+                {"addr": msg.addr, "hit": data is not None},
+            )
         if data is None:
             self.misses += 1
             return None
@@ -99,6 +130,10 @@ class CaesarEngine:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def occupancy(self) -> int:
+        """Valid blocks currently resident in this switch's cache."""
+        return self.sram.occupancy
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -122,14 +122,19 @@ class SwitchCacheSRAM:
         data_start = port.reserve(self.geo.data_cycles, earliest=tag_done)
         return line.data, data_start + self.geo.data_cycles
 
-    def write(self, addr: int, data: int) -> int:
-        """Deposit a block (tag update + full-block data write); returns done time."""
+    def write(self, addr: int, data: int) -> Tuple[int, Optional[int]]:
+        """Deposit a block (tag update + full-block data write).
+
+        Returns ``(done_time, victim_addr_or_None)`` — the victim is the
+        block LRU-displaced by this deposit, if the set was full.
+        """
         tag_start = self.tag_port.reserve(self.geo.tag_cycles)
         tag_done = tag_start + self.geo.tag_cycles
         port = self.data_ports[self.geo.bank_of(addr)]
         data_start = port.reserve(self.geo.data_cycles, earliest=tag_done)
-        self.array.insert(addr, LineState.SHARED, data)
-        return data_start + self.geo.data_cycles
+        victim = self.array.insert(addr, LineState.SHARED, data)
+        victim_addr = victim[0] if victim is not None else None
+        return data_start + self.geo.data_cycles, victim_addr
 
     def snoop_invalidate(self, addr: int) -> Tuple[bool, int]:
         """Snoop-port probe + valid-bit clear on hit.

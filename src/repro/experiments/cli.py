@@ -6,7 +6,9 @@ Examples::
     repro-experiments run --exp E5
     repro-experiments run --all --scale full --jobs 8
     repro-experiments run --all --no-cache     # force fresh simulations
-    repro-experiments run --clear-cache        # drop the on-disk run cache
+    repro-experiments run --exp E5 --profile   # wall-clock + cProfile top-N
+    repro-experiments cache                    # on-disk cache inventory
+    repro-experiments cache --prune            # drop stale/tmp cache files
 
 Completed simulations are persisted in the on-disk run cache
 (``results/.runcache/``) and reused across invocations; with ``--jobs``
@@ -77,7 +79,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every simulation with SCSan runtime invariant checks "
              "(sets REPRO_SANITIZE=1 so parallel workers inherit it)",
     )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="profile the (serial) experiment loop with cProfile and "
+             "print the top functions by cumulative time",
+    )
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clean the on-disk run cache"
+    )
+    cache_p.add_argument(
+        "--prune", action="store_true",
+        help="remove stale entries (old format versions) and orphaned "
+             "*.tmp files, keeping current-version entries",
+    )
+    cache_p.add_argument(
+        "--clear", action="store_true",
+        help="delete every cache entry and temp file",
+    )
     return parser
+
+
+def _cache_command(args) -> int:
+    directory = runcache.cache_dir()
+    if args.clear:
+        removed = runcache.clear()
+        print(f"run cache cleared ({removed} files) ({directory})")
+        return 0
+    if args.prune:
+        removed = runcache.prune()
+        print(f"run cache pruned ({removed} stale files) ({directory})")
+        return 0
+    current = stale = tmp = total_bytes = 0
+    keep_suffix = f".v{runcache.CACHE_FORMAT_VERSION}.json"
+    if directory.is_dir():
+        for path in directory.iterdir():
+            name = path.name
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            if name.endswith(".tmp"):
+                tmp += 1
+            elif name.endswith(keep_suffix):
+                current += 1
+            elif name.endswith(".json"):
+                stale += 1
+    print(f"run cache: {directory}")
+    print(
+        f"  {current} current entries (v{runcache.CACHE_FORMAT_VERSION}), "
+        f"{stale} stale-version entries, {tmp} orphaned tmp files, "
+        f"{total_bytes / 1024:.0f} KiB total"
+    )
+    if stale or tmp:
+        print("  (run `repro-experiments cache --prune` to drop stale files)")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -86,6 +141,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for exp_id, (title, _runner) in EXPERIMENTS.items():
             print(f"{exp_id:4s} {title}")
         return 0
+    if args.command == "cache":
+        return _cache_command(args)
     if args.clear_cache:
         removed = runcache.clear()
         print(f"run cache cleared ({removed} entries)")
@@ -117,6 +174,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"cache, {counters['executed']} simulated on {args.jobs} "
             f"workers) [{time.time() - started:.1f}s]"
         )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    loop_started = time.time()
     for exp_id in exp_ids:
         started = time.time()
         result = run_experiment(exp_id, scale=args.scale)
@@ -134,6 +198,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             (json_dir / f"{result.exp_id}.json").write_text(
                 json.dumps(payload, indent=2)
             )
+    if profiler is not None:
+        import io
+        import pstats
+
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(25)
+        print(f"profile: experiment loop took "
+              f"{time.time() - loop_started:.2f}s wall-clock")
+        print(buffer.getvalue())
     if not args.no_cache:
         cache = runcache.stats()
         print(

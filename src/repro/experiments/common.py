@@ -30,6 +30,7 @@ from ..apps import PAPER_APPS
 from ..stats.counters import MachineStats
 from ..system.config import SystemConfig
 from ..system.machine import Machine
+from ..trace.metrics import MetricsRegistry
 from . import runcache
 
 APP_ORDER = ("FWA", "GS", "GE", "MM", "SOR", "FFT")
@@ -83,6 +84,9 @@ class RunRecord:
     mean_data_queue: float
     ni_queue: float
     coherence_violations: int
+    #: latency histograms etc. collected during the run (None for
+    #: records cached before the metrics layer existed)
+    metrics: Optional[MetricsRegistry] = None
 
     # ------------------------------------------------------------------
     # serialization: process-pool transport and the on-disk run cache
@@ -101,6 +105,9 @@ class RunRecord:
             "mean_data_queue": self.mean_data_queue,
             "ni_queue": self.ni_queue,
             "coherence_violations": self.coherence_violations,
+            "metrics": (
+                self.metrics.to_payload() if self.metrics is not None else None
+            ),
         }
 
     @classmethod
@@ -120,6 +127,10 @@ class RunRecord:
             mean_data_queue=payload["mean_data_queue"],
             ni_queue=payload["ni_queue"],
             coherence_violations=payload["coherence_violations"],
+            metrics=(
+                MetricsRegistry.from_payload(payload["metrics"])
+                if payload.get("metrics") is not None else None
+            ),
         )
 
 
@@ -163,7 +174,10 @@ def execute(
     Pure function of its arguments: the engine is deterministic, so the
     parallel executor's workers call this and ship the payload back.
     """
-    machine = Machine(config)
+    # histograms only: no sample_interval, so the registry adds zero
+    # simulator events and the run stays byte-identical with/without it
+    metrics = MetricsRegistry()
+    machine = Machine(config, metrics=metrics)
     stats = machine.run(make_app(app_name, scale, app_overrides))
     tag_qs, data_qs = [], []
     for switch in machine.fabric.switches.values():
@@ -185,6 +199,7 @@ def execute(
         mean_data_queue=sum(data_qs) / len(data_qs) if data_qs else 0.0,
         ni_queue=machine.fabric.injection_queue_delay(),
         coherence_violations=len(machine.check_coherence()),
+        metrics=metrics,
     )
 
 

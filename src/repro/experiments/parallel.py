@@ -286,8 +286,15 @@ def execute_specs(
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs <= 1 or len(todo) == 1:
-        for _key, spec in todo:
-            common.run(spec.app, spec.scale, spec.config, spec.overrides)
+        # mirror the pool path exactly (execute + memoize + store) rather
+        # than calling common.run, whose own runcache.load would count a
+        # second miss for a run this function already probed above
+        for key, spec in todo:
+            record = common.execute(spec.app, spec.scale, spec.config,
+                                    spec.overrides)
+            common.memoize(key, record)
+            runcache.store(spec.app, spec.scale, spec.config,
+                           record.to_payload(), spec.overrides)
             counters["executed"] += 1
         return counters
     with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:

@@ -39,7 +39,7 @@ from ..system.config import SystemConfig
 #: bump when a code change alters simulation results or payload layout;
 #: every existing cache entry becomes unreachable (stale files are
 #: removed by ``clear()`` or by hand)
-CACHE_FORMAT_VERSION = 2  # v2: DIR_UPDATE carries sc_version (stale-reader race fix)
+CACHE_FORMAT_VERSION = 3  # v3: RunRecord payloads carry a metrics registry
 
 _enabled = False
 
@@ -93,10 +93,18 @@ def config_fingerprint(
 
 
 def _jsonable(value):
+    """Recursively convert ``value`` into JSON-encodable containers.
+
+    Sets/frozensets become sorted lists and tuples become lists at
+    *every* nesting level — a config field like ``(frozenset({1}),)``
+    must fingerprint, not crash ``json.dumps``.
+    """
     if isinstance(value, (set, frozenset)):
-        return sorted(value)
-    if isinstance(value, tuple):
-        return list(value)
+        return sorted(_jsonable(item) for item in value)
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
     return value
 
 
@@ -164,12 +172,43 @@ def store(
 
 
 def clear() -> int:
-    """Delete every cache entry (all versions).  Returns files removed."""
+    """Delete every cache entry (all versions) **and** leftover temp
+    files from interrupted stores.  Returns files removed."""
     directory = cache_dir()
     removed = 0
     if not directory.is_dir():
         return removed
-    for path in directory.glob("*.json"):
+    for pattern in ("*.json", "*.tmp"):
+        for path in directory.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def prune() -> int:
+    """Remove stale files only: old-format entries and orphaned temps.
+
+    Keeps every current-version (``.v{CACHE_FORMAT_VERSION}.json``)
+    entry; drops entries written by older/newer format versions (which
+    :func:`load` can never return) and ``*.tmp`` droppings left by
+    stores that died between ``mkstemp`` and ``os.replace``.  Returns
+    the number of files removed.
+    """
+    directory = cache_dir()
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    keep_suffix = f".v{CACHE_FORMAT_VERSION}.json"
+    for path in directory.iterdir():
+        name = path.name
+        stale = name.endswith(".tmp") or (
+            name.endswith(".json") and not name.endswith(keep_suffix)
+        )
+        if not stale:
+            continue
         try:
             path.unlink()
             removed += 1

@@ -25,7 +25,7 @@ fabric invokes the embedded CAESAR engine —
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..errors import NetworkError
 from ..sim.engine import Simulator
@@ -34,7 +34,19 @@ from .message import Message, MsgKind
 from .switch import Switch
 from .topology import BminTopology, SwitchId
 
+if TYPE_CHECKING:
+    from ..trace.tracer import Tracer
+
 DeliverFn = Callable[[Message], None]
+
+#: request kinds that open a flow arrow toward their eventual reply
+_FLOW_REQUESTS = frozenset(
+    {MsgKind.READ, MsgKind.READX, MsgKind.UPGRADE}
+)
+#: reply kinds that close a transaction's flow arrow
+_FLOW_REPLIES = frozenset(
+    {MsgKind.DATA_S, MsgKind.DATA_X, MsgKind.DATA_E, MsgKind.UPGR_ACK}
+)
 
 
 class FabricStats:
@@ -66,7 +78,7 @@ class Fabric:
 
     __slots__ = (
         "sim", "topo", "switch_delay", "cycles_per_flit", "stats",
-        "switches", "_inject_links", "_handlers",
+        "switches", "_inject_links", "_handlers", "_tracer",
     )
 
     def __init__(
@@ -77,6 +89,9 @@ class Fabric:
         cycles_per_flit: int = 4,
     ) -> None:
         self.sim = sim
+        # captured once: Machine installs the tracer on the simulator
+        # before any component is built, and never swaps it mid-run
+        self._tracer = sim.tracer
         self.topo = topology
         self.switch_delay = switch_delay
         self.cycles_per_flit = cycles_per_flit
@@ -143,6 +158,12 @@ class Fabric:
         sid = msg.route[hop]
         switch = self.switches[sid]
         msg.trace.append(sid)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                switch.trace_track, "hop", self.sim.now,
+                {"msg": msg.id, "kind": msg.kind.value, "addr": msg.addr},
+            )
         engine = switch.cache_engine
         if engine is not None:
             kind = msg.kind
@@ -176,10 +197,36 @@ class Fabric:
     def _deliver(self, msg: Message) -> None:
         msg.delivered_at = self.sim.now
         self.stats.msgs_delivered += 1
+        tracer = self._tracer
+        if tracer is not None:
+            self._trace_delivery(msg, tracer)
         handler = self._handlers.get(msg.dst)
         if handler is None:
             raise NetworkError(f"no NI handler attached for node {msg.dst}")
         handler(msg)
+
+    def _trace_delivery(self, msg: Message, tracer: Tracer) -> None:
+        """Record the delivered worm's leg span and its flow linkage."""
+        kind = msg.kind
+        track = f"ni{msg.src}"
+        args = {
+            "msg": msg.id, "addr": msg.addr, "src": msg.src, "dst": msg.dst,
+            "flits": msg.flits,
+        }
+        txn = msg.transaction
+        if txn is not None:
+            args["txn"] = txn.id
+        start = msg.created_at if msg.created_at >= 0 else msg.injected_at
+        tracer.async_span(
+            track, kind.value, "msg", msg.id, start, msg.delivered_at, args
+        )
+        if txn is not None:
+            # flow arrows bind the request leg to its reply leg, across
+            # whatever track the reply ends up on (home or a switch)
+            if kind in _FLOW_REQUESTS:
+                tracer.flow_start(track, "txn", txn.id, start)
+            elif kind in _FLOW_REPLIES:
+                tracer.flow_end(track, "txn", txn.id, msg.delivered_at)
 
     # ------------------------------------------------------------------
     # switch-cache service
@@ -190,6 +237,30 @@ class Fabric:
         """A READ hit in ``switch``'s cache: reply + directory update."""
         stage = switch.stage
         self.stats.record_switch_hit(stage)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.instant(
+                switch.trace_track, "sc_hit", self.sim.now,
+                {"addr": msg.addr, "requester": msg.src, "stage": stage},
+            )
+            # an intercepted request never reaches _deliver, so its leg
+            # span and flow arrow are recorded here: the leg truthfully
+            # ends at the serving switch, not at the home
+            txn = msg.transaction
+            track = f"ni{msg.src}"
+            start = msg.created_at if msg.created_at >= 0 else msg.injected_at
+            args = {
+                "msg": msg.id, "addr": msg.addr, "src": msg.src,
+                "dst": msg.dst, "flits": msg.flits, "served_by": "switch",
+            }
+            if txn is not None:
+                args["txn"] = txn.id
+            tracer.async_span(
+                track, msg.kind.value, "msg", msg.id, start, self.sim.now,
+                args,
+            )
+            if txn is not None and msg.kind in _FLOW_REQUESTS:
+                tracer.flow_start(track, "txn", txn.id, start)
         reply = Message(
             kind=MsgKind.DATA_S,
             src=msg.dst,  # protocol-wise the reply stands in for the home's

@@ -30,7 +30,7 @@ class Switch:
 
     __slots__ = (
         "sim", "id", "stage", "switch_delay", "cycles_per_flit", "_out",
-        "cache_engine", "msgs_routed", "flits_routed",
+        "cache_engine", "msgs_routed", "flits_routed", "trace_track",
     )
 
     def __init__(
@@ -51,6 +51,8 @@ class Switch:
         # statistics
         self.msgs_routed = 0
         self.flits_routed = 0
+        # precomputed tracer track name (avoids per-hop formatting)
+        self.trace_track = f"switch{self.stage}.{switch_id[1]}"
 
     # ------------------------------------------------------------------
     # wiring

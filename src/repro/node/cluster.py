@@ -68,6 +68,7 @@ class ProcStack:
         )
         self._wb_waiters: List[Callable[[], None]] = []
         self._draining = False
+        self._drain_started = 0
         self.write_trace: List[Tuple[str, int, int, int]] = []
 
     # ------------------------------------------------------------------
@@ -116,6 +117,7 @@ class ProcStack:
         if block is None:
             return
         self._draining = True
+        self._drain_started = self.sim.now
         probe = self.hierarchy.write_probe(block)
         if probe.action == "hit":
             self._apply_store(block)
@@ -146,6 +148,13 @@ class ProcStack:
     def _drain_done(self) -> None:
         self.write_buffer.finish_drain()
         self._draining = False
+        tracer = self.sim.tracer
+        if tracer is not None:
+            started = self._drain_started
+            tracer.complete(
+                f"proc{self.proc_id}", "wb_drain", started,
+                self.sim.now - started,
+            )
         waiters, self._wb_waiters = self._wb_waiters, []
         for waiter in waiters:
             waiter()

@@ -59,6 +59,7 @@ class Processor:
         self._ops: Optional[Iterator[Op]] = None
         self._pending_op: Optional[Op] = None
         self._stall_started: Optional[int] = None
+        self._sync_label = "sync"  # span name for the current sync stall
         self.value_trace: List[Tuple[str, int, int, int]] = []
         # statistics
         self.ops_executed = 0
@@ -202,7 +203,14 @@ class Processor:
 
     def _retry_after_wb(self) -> None:
         if self._stall_started is not None:
-            self.wb_stall_cycles += max(0, self.sim.now - self._stall_started)
+            stall = max(0, self.sim.now - self._stall_started)
+            self.wb_stall_cycles += stall
+            tracer = self.sim.tracer
+            if tracer is not None and stall > 0:
+                tracer.complete(
+                    f"proc{self.node.node_id}", "wb_full",
+                    self.sim.now - stall, stall,
+                )
             self._stall_started = None
         self._resume()
 
@@ -212,6 +220,7 @@ class Processor:
     def _start_sync(self, op: Op, is_barrier: bool) -> None:
         """Barrier arrival / lock acquire: fence, RMW, then wait."""
         self._stall_started = self.time
+        self._sync_label = "barrier" if is_barrier else "lock"
         self._fence_then(lambda: self._sync_rmw(op, is_barrier))
 
     def _fence_then(self, action: Callable[[], None]) -> None:
@@ -259,12 +268,20 @@ class Processor:
 
     def _sync_done(self) -> None:
         if self._stall_started is not None:
-            self.sync_stall_cycles += max(0, self.sim.now - self._stall_started)
+            stall = max(0, self.sim.now - self._stall_started)
+            self.sync_stall_cycles += stall
+            tracer = self.sim.tracer
+            if tracer is not None and stall > 0:
+                tracer.complete(
+                    f"proc{self.node.node_id}", self._sync_label,
+                    self.sim.now - stall, stall,
+                )
             self._stall_started = None
         self._resume()
 
     def _start_unlock(self, op: Op) -> None:
         self._stall_started = self.time
+        self._sync_label = "unlock"
 
         def release() -> None:
             addr = self.node.sync_addr("lock", op[1])

@@ -49,6 +49,12 @@ class BarrierManager:
         if len(waiters) == self.num_procs:
             self.episodes += 1
             released = self._waiting.pop(barrier_id)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "sync", "barrier_release", self.sim.now,
+                    {"barrier": barrier_id, "procs": len(released)},
+                )
             for _node, fn in released:
                 self.sim.schedule(self.wakeup_cycles, fn)
 
@@ -90,6 +96,12 @@ class LockManager:
             if not queue:
                 del self._queue[lock_id]
             self._holder[lock_id] = next_node
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "sync", "lock_handoff", self.sim.now,
+                    {"lock": lock_id, "from": node_id, "to": next_node},
+                )
             self.sim.schedule(self.handoff_cycles, resume)
         else:
             del self._holder[lock_id]

@@ -77,7 +77,7 @@ class Simulator:
 
     __slots__ = (
         "now", "_seq", "_queue", "_events_fired", "_cancelled_queued",
-        "horizon",
+        "horizon", "tracer",
     )
 
     def __init__(self, horizon: Optional[int] = None) -> None:
@@ -87,6 +87,11 @@ class Simulator:
         self._events_fired: int = 0
         self._cancelled_queued: int = 0  # cancelled events still in _queue
         self.horizon = horizon
+        # observability hook: components reach the run's Tracer through
+        # the simulator they already hold (None = tracing disabled; every
+        # instrumentation site guards on that, which is the whole of the
+        # disabled path's overhead)
+        self.tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # scheduling

@@ -4,8 +4,9 @@ Examples::
 
     repro-sim --app GE --param n=32 --design sc --sc-size 2048
     repro-sim --app FWA --design base --record fwa.trace
-    repro-sim --trace fwa.trace --design nc
+    repro-sim --replay fwa.trace --design nc
     repro-sim --app MM --design sc --nodes 32 --protocol mesi --verbose
+    repro-sim --app GE --design sc --trace ge.json --metrics ge-metrics.json
 """
 
 from __future__ import annotations
@@ -37,8 +38,8 @@ def build_parser() -> argparse.ArgumentParser:
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--app", choices=sorted(PAPER_APPS),
                         help="one of the paper's six kernels")
-    source.add_argument("--trace", metavar="FILE",
-                        help="replay a recorded trace file")
+    source.add_argument("--replay", metavar="FILE",
+                        help="replay a recorded op-trace file")
     parser.add_argument(
         "--param", action="append", default=[], metavar="K=V",
         help="application parameter override (repeatable), e.g. n=32",
@@ -56,6 +57,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--protocol", choices=("msi", "mesi"), default="msi")
     parser.add_argument("--record", metavar="FILE",
                         help="record the executed ops to a trace file")
+    parser.add_argument("--trace", metavar="FILE", dest="trace_out",
+                        help="write a Chrome/Perfetto trace-event JSON file")
+    parser.add_argument("--trace-jsonl", metavar="FILE",
+                        help="write the raw trace events as JSONL")
+    parser.add_argument("--trace-limit", type=int, default=2_000_000,
+                        help="max recorded trace events (default 2000000)")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="write counters/histograms/time-series JSON")
+    parser.add_argument("--sample-interval", type=int, default=1000,
+                        help="metrics sampling period in cycles "
+                             "(default 1000; used with --metrics)")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-category latencies and switch stats")
     parser.add_argument("--sanitize", action="store_true",
@@ -91,8 +103,8 @@ def _make_config(args):
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.trace:
-        app = TraceApplication(args.trace)
+    if args.replay:
+        app = TraceApplication(args.replay)
     else:
         app = PAPER_APPS[args.app](**_parse_params(args.param))
     recorder = None
@@ -100,8 +112,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         recorder = TraceRecorder(app)
         app = recorder
 
+    tracer = None
+    if args.trace_out or args.trace_jsonl:
+        from .trace import Tracer
+
+        tracer = Tracer(limit=args.trace_limit)
+    metrics = None
+    if args.metrics:
+        from .trace import MetricsRegistry
+
+        metrics = MetricsRegistry(sample_interval=args.sample_interval)
+
     config = _make_config(args)
-    machine = Machine(config, sanitize=True if args.sanitize else None)
+    machine = Machine(
+        config, sanitize=True if args.sanitize else None,
+        tracer=tracer, metrics=metrics,
+    )
     stats = machine.run(app)
 
     print(f"design: {config.label()}   nodes: {config.num_nodes}"
@@ -135,6 +161,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         recorder.save(args.record)
         total_ops = sum(len(v) for v in recorder.recorded.values())
         print(f"\nrecorded {total_ops} ops to {args.record}")
+    if tracer is not None:
+        from .trace import write_chrome_trace, write_jsonl
+
+        label = f"repro-sim {args.app or args.replay} {config.label()}"
+        if args.trace_out:
+            count = write_chrome_trace(tracer, args.trace_out, label=label)
+            note = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+            print(f"trace: {count} events{note} -> {args.trace_out} "
+                  f"(open in https://ui.perfetto.dev)")
+        if args.trace_jsonl:
+            count = write_jsonl(tracer, args.trace_jsonl)
+            print(f"trace: {count} events -> {args.trace_jsonl}")
+    if metrics is not None:
+        import json as _json
+
+        with open(args.metrics, "w") as handle:
+            _json.dump(metrics.to_payload(), handle, indent=1)
+        print(f"metrics: {len(metrics.counters)} counters, "
+              f"{len(metrics.histograms)} histograms, "
+              f"{len(metrics.series_map)} series -> {args.metrics}")
     return 0
 
 

@@ -13,9 +13,12 @@ Collects exactly the quantities the paper's evaluation reports:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..coherence.messages import Transaction
+
+if TYPE_CHECKING:
+    from ..trace.metrics import MetricsRegistry
 
 #: service classes for reads, in reporting order
 READ_CATEGORIES = (
@@ -44,8 +47,13 @@ BREAKDOWN_COMPONENTS = (
 class MachineStats:
     """Aggregated statistics for one simulation run."""
 
-    def __init__(self, num_nodes: int) -> None:
+    def __init__(self, num_nodes: int,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.num_nodes = num_nodes
+        # optional MetricsRegistry: miss latencies feed log-bucketed
+        # histograms whose exact total/count make the histogram mean
+        # reconcile bit-for-bit with mean_latency()
+        self._metrics = metrics
         self.read_counts: Dict[str, int] = {c: 0 for c in READ_CATEGORIES}
         self.read_latency: Dict[str, int] = {c: 0 for c in READ_CATEGORIES}
         self.switch_hits_by_stage: Dict[int, int] = {}
@@ -80,6 +88,8 @@ class MachineStats:
         self.read_counts[category] += 1
         self.read_latency[category] += stall
         self.per_node_reads[node] += 1
+        if self._metrics is not None:
+            self._metrics.histogram("read_latency/" + category).observe(stall)
         if category == "switch" and txn.served_stage is not None:
             self.switch_hits_by_stage[txn.served_stage] = (
                 self.switch_hits_by_stage.get(txn.served_stage, 0) + 1
@@ -123,6 +133,10 @@ class MachineStats:
         else:
             self.writes_completed += 1
         self.write_latency += txn.latency
+        if self._metrics is not None:
+            self._metrics.histogram("write_latency/" + txn.kind).observe(
+                txn.latency
+            )
 
     def record_finish(self, node: int, time: int) -> None:
         self.finish_times[node] = time

@@ -15,7 +15,7 @@ directory, and directory ownership must be exact.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..cache.states import DirState, LineState
 from ..core.caesar import CaesarEngine
@@ -32,14 +32,23 @@ from ..stats.counters import MachineStats
 from .addressing import AddressSpace
 from .config import SystemConfig
 
+if TYPE_CHECKING:
+    from ..trace.metrics import MetricsRegistry
+    from ..trace.tracer import Tracer
+
 
 class Machine:
     """One configured CC-NUMA multiprocessor."""
 
     def __init__(
-        self, config: SystemConfig, sanitize: Optional[bool] = None
+        self,
+        config: SystemConfig,
+        sanitize: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
+        self.metrics = metrics
         if sanitize is None:
             sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
         if sanitize:
@@ -54,6 +63,8 @@ class Machine:
         else:
             self.sanitizer = None
             self.sim = Simulator()
+        # installed before any component is built, so every hook sees it
+        self.sim.tracer = tracer
         self.topology = BminTopology(config.num_nodes)
         if config.network_model == "flit":
             # the flit-granularity reference model has no sanitized
@@ -82,7 +93,9 @@ class Machine:
         if config.switch_caches_enabled:
             self.fabric.install_cache_engines(self._make_engine)
         self.space = AddressSpace(config.num_nodes, config.block_size)
-        self.stats = MachineStats(config.num_nodes * config.procs_per_node)
+        self.stats = MachineStats(
+            config.num_nodes * config.procs_per_node, metrics=metrics
+        )
         self.barriers = BarrierManager(
             self.sim,
             config.num_nodes * config.procs_per_node,
@@ -142,6 +155,49 @@ class Machine:
         self._done_count += 1
         self.stats.record_finish(proc_id, self.sim.now)
 
+    def _sample_metrics(self) -> None:
+        """Periodic sampler: occupancy/hit-rate and memory backlogs.
+
+        Scheduled from :meth:`run` only when ``metrics.sample_interval``
+        is set, so harness runs (which leave it None) add no simulator
+        events and keep cached results byte-stable.
+        """
+        metrics = self.metrics
+        if metrics is None:  # only scheduled with a registry installed
+            return
+        now = self.sim.now
+        tracer = self.sim.tracer
+        sc_blocks = 0
+        sc_hits = 0
+        sc_lookups = 0
+        for switch in self.fabric.switches.values():
+            engine = switch.cache_engine
+            if engine is None:
+                continue
+            occupancy = engine.occupancy()
+            sc_blocks += occupancy
+            sc_hits += engine.hits
+            sc_lookups += engine.lookups
+            metrics.series(f"sc_occupancy/{engine.trace_track}").sample(
+                now, occupancy
+            )
+            if tracer is not None:
+                tracer.counter(engine.trace_track, "sc_occupancy", now,
+                               occupancy)
+        metrics.series("sc_occupancy/total").sample(now, sc_blocks)
+        hit_rate = sc_hits / sc_lookups if sc_lookups else 0.0
+        metrics.series("sc_hit_rate").sample(now, hit_rate)
+        for node in self.nodes:
+            backlog = max(0, node.memory.array.free_at() - now)
+            metrics.series(f"mem_backlog/home{node.node_id}").sample(
+                now, backlog
+            )
+            if tracer is not None:
+                tracer.counter(f"home{node.node_id}", "mem_backlog", now,
+                               backlog)
+        if self._done_count < self.num_procs:
+            self.sim.schedule(metrics.sample_interval, self._sample_metrics)
+
     # ------------------------------------------------------------------
     # processor/node helpers
     # ------------------------------------------------------------------
@@ -164,6 +220,9 @@ class Machine:
         app.setup(self)
         for stack in self.stacks():
             stack.processor.start(app.ops(stack.proc_id, self))
+        metrics = self.metrics
+        if metrics is not None and metrics.sample_interval:
+            self.sim.schedule(metrics.sample_interval, self._sample_metrics)
         self.sim.run_while(lambda: self._done_count < self.num_procs)
         if self._done_count < self.num_procs:
             stuck = [s.proc_id for s in self.stacks() if not s.processor.done]

@@ -1,0 +1,146 @@
+"""Structured span/instant event recorder for one simulation run.
+
+The tracer records *events* — small dicts in a private schema that maps
+1:1 onto the Chrome trace-event format (see :mod:`repro.trace.export`).
+Timestamps are simulated **cycles** (the exporter presents one cycle as
+one microsecond so Perfetto's time axis reads directly in cycles).
+
+Event taxonomy (the ``name``/``cat`` values the kernel hooks emit):
+
+===========  =========================  =====================================
+track        event                      meaning
+===========  =========================  =====================================
+``proc<p>``  ``read/write/upgrade``     coherence transaction span (async,
+                                        ``cat="txn"``, id = transaction id)
+``proc<p>``  ``barrier/lock/unlock``    synchronization stall span
+``proc<p>``  ``wb_drain``/``wb_full``   write-buffer drain span / full stall
+``ni<n>``    ``<msg kind>``             message leg span (async, ``cat="msg"``)
+``ni<n>``    flow ``s``/``f``           request→reply flow link (id = txn id)
+``switch..`` ``hop``                    worm header arrived at a switch
+``switch..`` ``sc_probe/sc_bypass``     switch-cache probe (hit/miss) / bypass
+``switch..`` ``sc_hit``                 intercepted READ served by the switch
+``switch..`` ``sc_deposit/sc_evict``    block captured / victim displaced
+``switch..`` ``sc_purge``               snoop invalidation purged a block
+``home<n>``  ``read/write/upgrade``     home-directory transaction start
+``home<n>``  ``dir_update``             switch-served read registered
+``home<n>``  ``corrective_inv``         stale switch service chased
+``home<n>``  ``writeback``              owner data returned to memory
+``home<n>``  ``mem_backlog``            memory-queue depth (counter track)
+``sync``     ``barrier_release`` etc.   global synchronization episodes
+===========  =========================  =====================================
+
+A bounded ``limit`` caps memory for long runs; past it events are counted
+in ``dropped`` instead of recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+#: one recorded event (private schema; see module docstring)
+Event = Dict[str, Any]
+
+
+class Tracer:
+    """Collects structured events; one instance per traced run."""
+
+    __slots__ = ("events", "limit", "dropped")
+
+    def __init__(self, limit: Optional[int] = 2_000_000) -> None:
+        self.events: List[Event] = []
+        self.limit = limit
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # core emitters
+    # ------------------------------------------------------------------
+    def _emit(self, event: Event) -> None:
+        if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def instant(
+        self, track: str, name: str, ts: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """A point event on ``track`` at cycle ``ts``."""
+        event: Event = {"ph": "i", "track": track, "name": name, "ts": ts}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def complete(
+        self, track: str, name: str, ts: int, dur: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """A closed span ``[ts, ts+dur]`` on ``track``."""
+        event: Event = {
+            "ph": "X", "track": track, "name": name, "ts": ts, "dur": dur,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def counter(self, track: str, name: str, ts: int, value: float) -> None:
+        """A sampled counter value (rendered as a counter track)."""
+        self._emit(
+            {"ph": "C", "track": track, "name": name, "ts": ts,
+             "value": value}
+        )
+
+    def async_span(
+        self, track: str, name: str, cat: str, span_id: int,
+        start: int, end: int, args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """An overlap-safe span (async begin/end pair keyed by id)."""
+        begin: Event = {
+            "ph": "b", "track": track, "name": name, "cat": cat,
+            "id": span_id, "ts": start,
+        }
+        if args:
+            begin["args"] = args
+        self._emit(begin)
+        self._emit(
+            {"ph": "e", "track": track, "name": name, "cat": cat,
+             "id": span_id, "ts": end}
+        )
+
+    def flow_start(self, track: str, name: str, flow_id: int, ts: int) -> None:
+        """Open a flow arrow (e.g. a request leg) with id ``flow_id``."""
+        self._emit(
+            {"ph": "s", "track": track, "name": name, "cat": "flow",
+             "id": flow_id, "ts": ts}
+        )
+
+    def flow_end(self, track: str, name: str, flow_id: int, ts: int) -> None:
+        """Close a flow arrow (e.g. the matching reply leg)."""
+        self._emit(
+            {"ph": "f", "track": track, "name": name, "cat": "flow",
+             "id": flow_id, "ts": ts}
+        )
+
+    # ------------------------------------------------------------------
+    # introspection / output
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def tracks(self) -> List[str]:
+        """All track names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event["track"], None)
+        return list(seen)
+
+    def events_named(self, name: str) -> List[Event]:
+        return [e for e in self.events if e["name"] == name]
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the compact JSONL log (one event per line); returns count."""
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, separators=(",", ":")))
+                handle.write("\n")
+        return len(self.events)

@@ -35,7 +35,7 @@ from typing import Iterator, List, Optional, Sequence
 #: packages whose modules form the deterministic simulation kernel
 KERNEL_PACKAGES = (
     "cache", "coherence", "core", "memory", "network", "node", "sim",
-    "system",
+    "system", "trace",
 )
 
 #: modules where iteration order feeds message timing (rule S)
@@ -47,6 +47,7 @@ ORDER_SENSITIVE = (
 HOT_MODULES = (
     "sim/engine.py", "sim/resource.py", "network/link.py",
     "network/switch.py", "network/fabric.py", "network/message.py",
+    "trace/tracer.py", "trace/metrics.py",
 )
 
 #: attribute calls that read the host clock

@@ -184,3 +184,107 @@ def test_payload_round_trip_exact(isolated_caches):
     assert rebuilt.stats.ideal_global_hit_rate() == (
         record.stats.ideal_global_hit_rate()
     )
+
+
+def test_payload_carries_metrics_histograms(isolated_caches):
+    record = common.run("GS", "quick", switch_cache_config(size=2 * KB))
+    assert record.metrics is not None
+    payload = record.to_payload()
+    assert payload["metrics"]["histograms"]
+    rebuilt = RunRecord.from_payload(payload)
+    assert rebuilt.metrics.to_payload() == record.metrics.to_payload()
+    # pre-metrics payloads (no key at all) rebuild with metrics=None
+    legacy = dict(payload)
+    del legacy["metrics"]
+    assert RunRecord.from_payload(legacy).metrics is None
+
+
+# ----------------------------------------------------------------------
+# run-cache hygiene: clear/prune and the fingerprint serializer
+# ----------------------------------------------------------------------
+def test_clear_removes_orphaned_tmp_files(isolated_caches):
+    runcache.set_enabled(True)
+    common.run("GS", "quick", base_config())
+    directory = runcache.cache_dir()
+    # an interrupted store() dies between mkstemp and os.replace
+    orphan = directory / "tmpdead01.tmp"
+    orphan.write_text("{}")
+    removed = runcache.clear()
+    assert removed == 2  # the entry AND the orphan
+    assert not list(directory.iterdir())
+
+
+def test_prune_drops_stale_versions_and_tmp_only(isolated_caches):
+    runcache.set_enabled(True)
+    common.run("GS", "quick", base_config())
+    directory = runcache.cache_dir()
+    current = next(directory.glob("*.json"))
+    old_entry = directory / "GS-quick-0123456789abcdef0123.v1.json"
+    old_entry.write_text("{}")
+    orphan = directory / "tmpdead02.tmp"
+    orphan.write_text("{}")
+    assert runcache.prune() == 2
+    assert current.exists()
+    assert not old_entry.exists() and not orphan.exists()
+    # pruning again is a no-op; the live entry still loads
+    assert runcache.prune() == 0
+    assert runcache.load("GS", "quick", base_config()) is not None
+
+
+def test_fingerprint_handles_nested_containers():
+    # regression: _jsonable only converted the top level, so a tuple of
+    # frozensets (or any nested set) crashed json.dumps
+    config = base_config()
+    overrides = {
+        "mix": (frozenset({1, 2}), frozenset({3})),
+        "nested": {"inner": {4, 5}},
+        "deep": [({"a"}, ("b", {"c": (6,)}))],
+    }
+    digest = runcache.config_fingerprint(config, overrides)
+    assert len(digest) == 64
+    # order inside sets must not matter
+    reordered = {
+        "mix": (frozenset({2, 1}), frozenset({3})),
+        "nested": {"inner": {5, 4}},
+        "deep": [({"a"}, ("b", {"c": (6,)}))],
+    }
+    assert runcache.config_fingerprint(config, reordered) == digest
+
+
+# ----------------------------------------------------------------------
+# cache counters reconcile with what execute_specs actually did
+# ----------------------------------------------------------------------
+@pytest.fixture
+def reset_counters(monkeypatch):
+    monkeypatch.setattr(runcache, "hits", 0)
+    monkeypatch.setattr(runcache, "misses", 0)
+    monkeypatch.setattr(runcache, "stores", 0)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_cold_prewarm_counters_reconcile(isolated_caches, reset_counters,
+                                         jobs):
+    # regression (serial path): execute_specs probed the disk cache once
+    # per spec, then handed off to common.run which probed AGAIN — so a
+    # cold jobs=1 prewarm reported 2x the true miss count
+    runcache.set_enabled(True)
+    counters = parallel.execute_specs(list(GS_SPECS), jobs=jobs)
+    assert counters["executed"] == len(GS_SPECS)
+    stats = runcache.stats()
+    assert stats["misses"] == counters["planned"]
+    assert stats["stores"] == counters["executed"]
+    assert stats["hits"] == 0
+
+
+def test_warm_prewarm_counters_reconcile(isolated_caches, reset_counters):
+    runcache.set_enabled(True)
+    parallel.execute_specs(list(GS_SPECS), jobs=1)
+    common.clear_cache()  # drop the memo so the disk layer must answer
+    before = runcache.stats()
+    counters = parallel.execute_specs(list(GS_SPECS), jobs=1)
+    assert counters["disk"] == len(GS_SPECS)
+    assert counters["executed"] == 0
+    after = runcache.stats()
+    assert after["hits"] - before["hits"] == counters["disk"]
+    assert after["misses"] == before["misses"]
+    assert after["stores"] == before["stores"]

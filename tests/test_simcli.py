@@ -6,10 +6,10 @@ from repro.simcli import build_parser, main
 
 
 class TestParser:
-    def test_app_and_trace_mutually_exclusive(self):
+    def test_app_and_replay_mutually_exclusive(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
-            parser.parse_args(["--app", "GE", "--trace", "x.trace"])
+            parser.parse_args(["--app", "GE", "--replay", "x.trace"])
 
     def test_requires_a_source(self):
         with pytest.raises(SystemExit):
@@ -60,10 +60,32 @@ class TestRuns:
                    "--record", trace])
         assert rc == 0
         assert "recorded" in capsys.readouterr().out
-        rc = main(["--trace", trace, "--nodes", "4", "--design", "sc",
+        rc = main(["--replay", trace, "--nodes", "4", "--design", "sc",
                    "--sc-size", "512"])
         assert rc == 0
         assert "execution time:" in capsys.readouterr().out
+
+    def test_trace_and_metrics_outputs(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "ge.json"
+        jsonl_path = tmp_path / "ge.jsonl"
+        metrics_path = tmp_path / "ge-metrics.json"
+        rc = main(["--app", "GE", "--param", "n=8", "--nodes", "4",
+                   "--design", "sc", "--sc-size", "512",
+                   "--trace", str(trace_path),
+                   "--trace-jsonl", str(jsonl_path),
+                   "--metrics", str(metrics_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "metrics:" in out
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"]
+        metrics = json.loads(metrics_path.read_text())
+        assert any(k.startswith("read_latency/") for k in metrics["histograms"])
+        assert metrics["series"]
+        lines = jsonl_path.read_text().splitlines()
+        assert lines and all(json.loads(line)["name"] for line in lines)
 
 
 class TestMachineSummary:

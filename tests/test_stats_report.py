@@ -2,6 +2,7 @@
 
 from repro.coherence.messages import Transaction
 from repro.stats.counters import MachineStats
+from repro.stats.latency import breakdown_table, format_bars, service_bars
 from repro.stats.report import format_series, format_table, percent
 
 
@@ -103,6 +104,83 @@ class TestMachineStats:
         stats.record_read_txn(0, read_txn(served_by="remote_mem"), 100)
         stats.record_read_txn(0, read_txn(served_by="switch", stage=0), 40)
         assert stats.mean_remote_read_latency() == 70.0
+
+    def test_mean_remote_read_latency_switch_only(self):
+        # every remote read intercepted by a switch cache: the mean must
+        # come entirely from the switch class, not divide by zero on the
+        # empty memory classes
+        stats = MachineStats(4)
+        stats.record_read_hit(0, "l1")
+        stats.record_read_txn(0, read_txn(served_by="switch", stage=1), 40)
+        stats.record_read_txn(1, read_txn(served_by="switch", stage=2), 60)
+        assert stats.mean_remote_read_latency() == 50.0
+        assert stats.reads_at_remote_memory() == 0
+        assert stats.remote_reads() == 2
+
+    def test_mean_remote_read_latency_no_remote_reads(self):
+        stats = MachineStats(4)
+        stats.record_read_hit(0, "l1")
+        assert stats.mean_remote_read_latency() == 0.0
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_with_multiple_procs_per_node(self):
+        # A6-shaped machine: 4 nodes x 2 procs — per-proc indices exceed
+        # the node count, so finish times and per-proc read attribution
+        # must survive the payload round-trip unchanged
+        num_procs = 8
+        stats = MachineStats(num_procs)
+        for proc in range(num_procs):
+            stats.record_read_hit(proc, "l1")
+            stats.record_read_txn(
+                proc, read_txn(node=proc, addr=0x40, data=0), 50 + proc
+            )
+            stats.record_finish(proc, 1000 + proc)
+        stats.record_read_txn(7, read_txn(node=7, served_by="switch",
+                                          stage=1), 30)
+        payload = stats.to_payload()
+        rebuilt = MachineStats.from_payload(payload)
+        assert rebuilt.to_payload() == payload
+        assert rebuilt.to_dict() == stats.to_dict()
+        assert rebuilt.exec_time == 1007
+        assert rebuilt.per_node_reads == stats.per_node_reads
+        assert len(rebuilt.finish_times) == num_procs
+        assert rebuilt.sharing_histogram(8) == stats.sharing_histogram(8)
+        assert rebuilt.mean_sharing_degree() == stats.mean_sharing_degree()
+
+    def test_round_trip_on_real_multi_proc_machine(self):
+        from repro.apps import GaussianElimination
+        from repro.system.config import SystemConfig
+        from repro.system.machine import Machine
+
+        machine = Machine(SystemConfig(
+            num_nodes=4, procs_per_node=2, l1_size=512, l2_size=2048,
+            switch_cache_size=512,
+        ))
+        stats = machine.run(GaussianElimination(n=8))
+        rebuilt = MachineStats.from_payload(stats.to_payload())
+        assert rebuilt.to_payload() == stats.to_payload()
+        assert rebuilt.to_dict() == stats.to_dict()
+        assert len(stats.finish_times) == 8  # one per proc, not per node
+
+
+class TestZeroReadRendering:
+    def test_breakdown_table_with_zero_reads(self):
+        text = breakdown_table(MachineStats(4))
+        assert "0 reads sampled" in text
+        assert "0.0%" in text  # shares render as zero, no ZeroDivisionError
+
+    def test_format_bars_all_zero_values(self):
+        text = format_bars(["a", "bb"], [0.0, 0.0])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "#" not in text  # zero peak draws empty bars
+
+    def test_format_bars_empty(self):
+        assert format_bars([], []) == ""
+
+    def test_service_bars_with_zero_reads(self):
+        assert service_bars(MachineStats(4)) == ""
 
 
 class TestReport:
