@@ -24,6 +24,10 @@ def _is_power_of_two(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
 
 
+#: hoisted enum member: ``line.state is _INVALID`` in the probe hot path
+_INVALID = LineState.INVALID
+
+
 class CacheLine:
     """One cache line: tag, MSI state, payload, and LRU timestamp."""
 
@@ -67,6 +71,7 @@ class CacheArray:
         if replacement not in self.REPLACEMENT_POLICIES:
             raise ConfigError(f"unknown replacement policy {replacement!r}")
         self.replacement = replacement
+        self._lru = replacement == "lru"  # hot-path flag (no str compare)
         self._rng = _random.Random(seed) if replacement == "random" else None
         if block_size <= 0 or not _is_power_of_two(block_size):
             raise ConfigError(f"block_size must be a power of two, got {block_size}")
@@ -107,19 +112,22 @@ class CacheArray:
     # ------------------------------------------------------------------
     def probe(self, addr: int) -> Optional[CacheLine]:
         """Hit test *without* updating LRU or statistics (snoop-style)."""
-        set_idx, tag = self._index(self.block_of(addr))
-        line = self._sets[set_idx].get(tag)
-        if line is not None and line.state is not LineState.INVALID:
+        # hot path (every simulated load probes at least one array): the
+        # set/tag arithmetic of block_of/_index is inlined here
+        block = addr // self.block_size
+        line = self._sets[block % self.num_sets].get(block // self.num_sets)
+        if line is not None and line.state is not _INVALID:
             return line
         return None
 
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Hit test that updates LRU and hit/miss statistics."""
-        line = self.probe(addr)
-        if line is None:
+        block = addr // self.block_size
+        line = self._sets[block % self.num_sets].get(block // self.num_sets)
+        if line is None or line.state is _INVALID:
             self.misses += 1
             return None
-        if self.replacement == "lru":
+        if self._lru:
             self._tick += 1
             line.lru = self._tick
         self.hits += 1
@@ -154,10 +162,14 @@ class CacheArray:
                 victim = cache_set[victim_tag]
             else:
                 # LRU and FIFO both evict the minimum timestamp; they
-                # differ in whether hits refresh it (see lookup)
-                victim_tag, victim = min(
-                    cache_set.items(), key=lambda kv: kv[1].lru
-                )
+                # differ in whether hits refresh it (see lookup).  A
+                # manual scan beats min(key=lambda) at these small assocs
+                victim_tag = -1
+                victim_lru = None
+                for tag_i, line_i in cache_set.items():
+                    if victim_lru is None or line_i.lru < victim_lru:
+                        victim_tag, victim_lru = tag_i, line_i.lru
+                victim = cache_set[victim_tag]
             del cache_set[victim_tag]
             if victim.state is not LineState.INVALID:
                 self.evictions += 1

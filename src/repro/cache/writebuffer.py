@@ -68,7 +68,8 @@ class WriteBuffer:
 
     def contains(self, addr: int) -> bool:
         """Whether a store to this block is still pending (incl. draining)."""
-        block = self._block(addr)
+        # hot path (checked on every simulated load): _block() inlined
+        block = addr // self.block_size * self.block_size
         return block in self._entries or block == self._draining
 
     # ------------------------------------------------------------------

@@ -204,7 +204,7 @@ class HomeController:
             start, done = self.memory.read()
             txn.mem_wait = max(0, start - self.sim.now - self.memory.bus_cycles)
             txn.mem_done = done
-            self.sim.at(done, lambda: self._finish_read_from_memory(txn))
+            self.sim.call_at(done, self._finish_read_from_memory, txn)
 
     def _finish_read_from_memory(self, txn: HomeTxn) -> None:
         entry = self.directory.entry(txn.block)
@@ -266,10 +266,10 @@ class HomeController:
             start, done = self.memory.read()
             txn.mem_wait = max(0, start - self.sim.now - self.memory.bus_cycles)
             txn.mem_done = done
-            self.sim.at(done, lambda: self._write_maybe_finish(txn, mem_ready=True))
+            self.sim.call_at(done, self._write_maybe_finish, txn, True)
         else:
             txn.mem_done = self.sim.now + DIR_CYCLES
-            self.sim.at(txn.mem_done, lambda: self._write_maybe_finish(txn, mem_ready=True))
+            self.sim.call_at(txn.mem_done, self._write_maybe_finish, txn, True)
 
     def _write_maybe_finish(self, txn: HomeTxn, mem_ready: bool = False) -> None:
         if txn.finished:
@@ -344,7 +344,7 @@ class HomeController:
             self._send(inv, None)
         else:
             self.directory.add_sharer(txn.block, requester)
-        self.sim.at(self.sim.now + DIR_CYCLES, lambda: self._complete(txn))
+        self.sim.call(DIR_CYCLES, self._complete, txn)
 
     # ------------------------------------------------------------------
     # responses feeding active transactions

@@ -102,7 +102,7 @@ class NodeController:
             if data is not None:
                 txn.served_by = "netcache"
                 txn.data = data
-                self.sim.at(done, lambda: self._complete_nc_read(txn))
+                self.sim.call_at(done, self._complete_nc_read, txn)
                 return txn
             # miss: the probe's latency is paid before the request departs
             self._mshr[block] = txn

@@ -94,6 +94,12 @@ class SwitchCacheSRAM:
         self.data_ports = [
             Timeline(sim, f"{name}.data{b}") for b in range(geometry.banks)
         ]
+        # geometry is immutable after construction; cache the per-access
+        # quantities (banks is 1/2/4, so bank selection is a mask)
+        self._tag_cycles = geometry.tag_cycles
+        self._data_cycles = geometry.data_cycles
+        self._block_size = geometry.block_size
+        self._bank_mask = geometry.banks - 1
 
     # ------------------------------------------------------------------
     # timed operations — each returns completion time(s)
@@ -103,7 +109,7 @@ class SwitchCacheSRAM:
         return max(0, self.tag_port.free_at() - self.sim.now)
 
     def data_backlog(self, addr: int) -> int:
-        port = self.data_ports[self.geo.bank_of(addr)]
+        port = self.data_ports[(addr // self._block_size) & self._bank_mask]
         return max(0, port.free_at() - self.sim.now)
 
     def read(self, addr: int) -> Tuple[Optional[int], int]:
@@ -113,14 +119,15 @@ class SwitchCacheSRAM:
         through the data bank after the tag check; a miss costs only the
         tag check.
         """
-        tag_start = self.tag_port.reserve(self.geo.tag_cycles)
-        tag_done = tag_start + self.geo.tag_cycles
+        tag_cycles = self._tag_cycles
+        tag_done = self.tag_port.reserve(tag_cycles) + tag_cycles
         line = self.array.lookup(addr)
         if line is None:
             return None, tag_done
-        port = self.data_ports[self.geo.bank_of(addr)]
-        data_start = port.reserve(self.geo.data_cycles, earliest=tag_done)
-        return line.data, data_start + self.geo.data_cycles
+        port = self.data_ports[(addr // self._block_size) & self._bank_mask]
+        data_cycles = self._data_cycles
+        data_start = port.reserve(data_cycles, earliest=tag_done)
+        return line.data, data_start + data_cycles
 
     def write(self, addr: int, data: int) -> Tuple[int, Optional[int]]:
         """Deposit a block (tag update + full-block data write).
@@ -128,13 +135,14 @@ class SwitchCacheSRAM:
         Returns ``(done_time, victim_addr_or_None)`` — the victim is the
         block LRU-displaced by this deposit, if the set was full.
         """
-        tag_start = self.tag_port.reserve(self.geo.tag_cycles)
-        tag_done = tag_start + self.geo.tag_cycles
-        port = self.data_ports[self.geo.bank_of(addr)]
-        data_start = port.reserve(self.geo.data_cycles, earliest=tag_done)
+        tag_cycles = self._tag_cycles
+        tag_done = self.tag_port.reserve(tag_cycles) + tag_cycles
+        port = self.data_ports[(addr // self._block_size) & self._bank_mask]
+        data_cycles = self._data_cycles
+        data_start = port.reserve(data_cycles, earliest=tag_done)
         victim = self.array.insert(addr, LineState.SHARED, data)
         victim_addr = victim[0] if victim is not None else None
-        return data_start + self.geo.data_cycles, victim_addr
+        return data_start + data_cycles, victim_addr
 
     def snoop_invalidate(self, addr: int) -> Tuple[bool, int]:
         """Snoop-port probe + valid-bit clear on hit.

@@ -1,0 +1,250 @@
+"""Engine perf-trajectory harness: ``repro-experiments bench``.
+
+Runs a pinned set of canonical workloads — one synthetic kernel and one
+paper application, each under the base and the switch-cache system — on
+**both** event engines (the reference binary heap and the default
+calendar queue), and records, per workload and engine:
+
+* ``wall_s``        — best-of-``repeat`` wall-clock seconds,
+* ``events_per_s``  — simulator events fired per wall-clock second,
+* ``peak_pending``  — high-water event-queue depth,
+
+plus the engine-independent ``cycles`` (simulated execution time) and
+``events`` (events fired), which the harness asserts are **identical**
+across engines: a bench run doubles as an end-to-end differential test.
+
+The result is written to ``BENCH_engine.json`` at the repo root, seeding
+the perf trajectory that future optimisation PRs extend.
+
+``--check`` mode (the CI perf-smoke job) compares a fresh run against the
+committed baseline.  Absolute wall-clock numbers are machine-dependent,
+so the check only uses portable quantities:
+
+* ``cycles``/``events`` must match the baseline exactly (cross-commit
+  determinism), and
+* the calendar-vs-heap ``speedup`` ratio — both engines measured on the
+  *same* host, so hardware cancels out — must not regress by more than
+  the threshold (default 25%).
+
+Runs are always fresh simulations (never served from the run cache) with
+SCSan forced off, so the numbers measure the engine, not the harness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..apps.synthetic import SharedReaders
+from ..sim.engine import ENGINE_ENV
+from ..system.config import SystemConfig
+from ..system.machine import Machine
+from .common import make_app
+
+SCHEMA_VERSION = 1
+ENGINES = ("heap", "calendar")
+DEFAULT_PATH = "BENCH_engine.json"
+DEFAULT_REPEAT = 2
+DEFAULT_THRESHOLD = 0.25
+
+#: one pinned workload: (name, config factory, app factory)
+Workload = Tuple[str, Callable[[], SystemConfig], Callable[[], Any]]
+
+
+def _workloads() -> List[Workload]:
+    # imported lazily so `repro-experiments list` stays instant
+    from ..system.presets import base_config, switch_cache_config
+
+    def synthetic() -> SharedReaders:
+        return SharedReaders(nbytes=16 * 1024, rounds=4)
+
+    return [
+        ("shared-readers/base", lambda: base_config(16), synthetic),
+        ("shared-readers/sc", lambda: switch_cache_config(16), synthetic),
+        ("GE/base", lambda: base_config(16), lambda: make_app("GE", "quick")),
+        ("GE/sc", lambda: switch_cache_config(16),
+         lambda: make_app("GE", "quick")),
+    ]
+
+
+def _run_once(
+    config: SystemConfig, app_factory: Callable[[], Any], engine: str
+) -> Dict[str, Any]:
+    """One fresh, cache-free, sanitizer-free simulation on ``engine``."""
+    previous = os.environ.get(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = engine
+    try:
+        machine = Machine(config, sanitize=False)
+        app = app_factory()
+        started = time.perf_counter()
+        stats = machine.run(app)
+        wall = time.perf_counter() - started
+    finally:
+        if previous is None:
+            os.environ.pop(ENGINE_ENV, None)
+        else:
+            os.environ[ENGINE_ENV] = previous
+    return {
+        "wall_s": wall,
+        "cycles": stats.exec_time,
+        "events": machine.sim.events_fired,
+        "peak_pending": machine.sim.peak_pending,
+    }
+
+
+def run_bench(repeat: int = DEFAULT_REPEAT) -> Dict[str, Any]:
+    """Run the pinned workload matrix; returns the BENCH payload."""
+    workloads: Dict[str, Any] = {}
+    speedups: List[float] = []
+    for name, config_factory, app_factory in _workloads():
+        config = config_factory()
+        entry: Dict[str, Any] = {}
+        reference: Optional[Dict[str, Any]] = None
+        for engine in ENGINES:
+            runs = [
+                _run_once(config, app_factory, engine) for _ in range(repeat)
+            ]
+            best = min(runs, key=lambda r: float(r["wall_s"]))
+            for other in runs:
+                if (other["cycles"], other["events"]) != (
+                    best["cycles"], best["events"]
+                ):
+                    raise AssertionError(
+                        f"{name}: non-deterministic repeat on {engine}"
+                    )
+            if reference is None:
+                reference = best
+                entry["cycles"] = best["cycles"]
+                entry["events"] = best["events"]
+            elif (best["cycles"], best["events"]) != (
+                reference["cycles"], reference["events"]
+            ):
+                raise AssertionError(
+                    f"{name}: engines disagree — {engine} simulated "
+                    f"{best['cycles']} cycles / {best['events']} events, "
+                    f"expected {reference['cycles']} / {reference['events']}"
+                )
+            wall = float(best["wall_s"])
+            entry[engine] = {
+                "wall_s": round(wall, 4),
+                "events_per_s": round(best["events"] / wall) if wall else 0,
+                "peak_pending": best["peak_pending"],
+            }
+        speedup = (
+            entry["calendar"]["events_per_s"] / entry["heap"]["events_per_s"]
+            if entry["heap"]["events_per_s"] else 0.0
+        )
+        entry["speedup"] = round(speedup, 3)
+        speedups.append(speedup)
+        workloads[name] = entry
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    if speedups:
+        geomean = geomean ** (1.0 / len(speedups))
+    return {
+        "schema": SCHEMA_VERSION,
+        "engines": list(ENGINES),
+        "repeat": repeat,
+        "workloads": workloads,
+        "geomean_speedup": round(geomean, 3),
+    }
+
+
+def check_against(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Portable regression check; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+    base_workloads = baseline.get("workloads", {})
+    for name, entry in current["workloads"].items():
+        base = base_workloads.get(name)
+        if base is None:
+            problems.append(f"{name}: missing from the committed baseline")
+            continue
+        if (entry["cycles"], entry["events"]) != (
+            base["cycles"], base["events"]
+        ):
+            problems.append(
+                f"{name}: timing drifted from the baseline — "
+                f"{entry['cycles']} cycles / {entry['events']} events vs "
+                f"baseline {base['cycles']} / {base['events']} "
+                f"(update BENCH_engine.json if the model changed on purpose)"
+            )
+        floor = base["speedup"] * (1.0 - threshold)
+        if entry["speedup"] < floor:
+            problems.append(
+                f"{name}: calendar-vs-heap speedup regressed — "
+                f"{entry['speedup']:.2f}x vs baseline "
+                f"{base['speedup']:.2f}x (floor {floor:.2f}x)"
+            )
+    for name in base_workloads:
+        if name not in current["workloads"]:
+            problems.append(f"{name}: in the baseline but no longer benched")
+    return problems
+
+
+def format_report(payload: Dict[str, Any]) -> str:
+    lines = [
+        f"{'workload':20s} {'cycles':>10s} {'events':>10s} "
+        f"{'heap ev/s':>10s} {'cal ev/s':>10s} {'speedup':>8s} "
+        f"{'peak q':>7s}"
+    ]
+    for name, entry in payload["workloads"].items():
+        lines.append(
+            f"{name:20s} {entry['cycles']:>10d} {entry['events']:>10d} "
+            f"{entry['heap']['events_per_s']:>10d} "
+            f"{entry['calendar']['events_per_s']:>10d} "
+            f"{entry['speedup']:>7.2f}x "
+            f"{entry['calendar']['peak_pending']:>7d}"
+        )
+    lines.append(f"geomean speedup: {payload['geomean_speedup']:.2f}x")
+    return "\n".join(lines)
+
+
+def bench_command(
+    output: str = DEFAULT_PATH,
+    baseline: str = DEFAULT_PATH,
+    check: bool = False,
+    repeat: int = DEFAULT_REPEAT,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> int:
+    """CLI driver for ``repro-experiments bench``."""
+    payload = run_bench(repeat=repeat)
+    print(format_report(payload))
+    out_path = Path(output)
+    if out_path.is_file():
+        # the trajectory (hand-recorded perf history, e.g. the pre-PR
+        # seed baseline) rides along across regenerations
+        try:
+            previous = json.loads(out_path.read_text())
+        except ValueError:
+            previous = {}
+        if "trajectory" in previous:
+            payload["trajectory"] = previous["trajectory"]
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if not check:
+        return 0
+    base_path = Path(baseline)
+    if not base_path.is_file():
+        print(f"no baseline at {base_path}; nothing to check against")
+        return 1
+    problems = check_against(
+        payload, json.loads(base_path.read_text()), threshold
+    )
+    if problems:
+        print("perf-smoke FAILED:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"perf-smoke ok (speedup within {threshold:.0%} of baseline, "
+        f"timing identical)"
+    )
+    return 0

@@ -54,7 +54,7 @@ class NetworkInterface:
             )
         self.sent += 1
         if at is not None and at > self.sim.now:
-            self.sim.at(at, lambda: self._send_now(msg))
+            self.sim.call_at(at, self._send_now, msg)
         else:
             self._send_now(msg)
 
@@ -64,7 +64,7 @@ class NetworkInterface:
             self.local_deliveries += 1
             msg.created_at = self.sim.now
             msg.injected_at = self.sim.now
-            self.sim.schedule(self.local_delay, lambda: self._receive_local(msg))
+            self.sim.call(self.local_delay, self._receive_local, msg)
         else:
             if self.fabric is None:
                 raise SimulationError("remote message but no fabric configured")

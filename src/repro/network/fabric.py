@@ -25,6 +25,7 @@ fabric invokes the embedded CAESAR engine —
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..errors import NetworkError
@@ -39,6 +40,9 @@ if TYPE_CHECKING:
 
 DeliverFn = Callable[[Message], None]
 
+#: one resolved route hop: (switch, out-link toward the next hop / the node)
+Hop = Tuple[Switch, Link]
+
 #: request kinds that open a flow arrow toward their eventual reply
 _FLOW_REQUESTS = frozenset(
     {MsgKind.READ, MsgKind.READX, MsgKind.UPGRADE}
@@ -47,6 +51,11 @@ _FLOW_REQUESTS = frozenset(
 _FLOW_REPLIES = frozenset(
     {MsgKind.DATA_S, MsgKind.DATA_X, MsgKind.DATA_E, MsgKind.UPGR_ACK}
 )
+
+#: hoisted members for the per-hop engine dispatch in ``_arrive``
+_INV = MsgKind.INV            # snoops_switch_caches
+_DATA_S = MsgKind.DATA_S      # switch_cacheable
+_READ = MsgKind.READ          # interceptable
 
 
 class FabricStats:
@@ -64,13 +73,14 @@ class FabricStats:
         self.switch_hits = 0
         self.switch_replies = 0
         self.dir_updates = 0
-        self.hits_by_stage: Dict[int, int] = {}
+        # defaultdict: the hot recording path is a bare increment
+        self.hits_by_stage: Dict[int, int] = defaultdict(int)
 
     def record_switch_hit(self, stage: int) -> None:
         self.switch_hits += 1
         self.switch_replies += 1
         self.dir_updates += 1
-        self.hits_by_stage[stage] = self.hits_by_stage.get(stage, 0) + 1
+        self.hits_by_stage[stage] += 1
 
 
 class Fabric:
@@ -78,7 +88,7 @@ class Fabric:
 
     __slots__ = (
         "sim", "topo", "switch_delay", "cycles_per_flit", "stats",
-        "switches", "_inject_links", "_handlers", "_tracer",
+        "switches", "_inject_links", "_handlers", "_tracer", "_route_objs",
     )
 
     def __init__(
@@ -99,6 +109,7 @@ class Fabric:
         self.switches: Dict[SwitchId, Switch] = {}
         self._inject_links: Dict[int, Link] = {}
         self._handlers: Dict[int, DeliverFn] = {}
+        self._route_objs: Dict[Tuple[int, int], Tuple[Hop, ...]] = {}
         self._build()
 
     # ------------------------------------------------------------------
@@ -122,6 +133,27 @@ class Fabric:
             self._inject_links[node] = Link(
                 self.sim, f"ni{node}->sw", cycles_per_flit=self.cycles_per_flit
             )
+        # resolve every (src, dst) route once into (switch, out-link) hop
+        # tuples, so the per-worm hot path never consults the topology or
+        # the switches' output dicts again
+        for src in range(self.topo.num_nodes):
+            for dst in range(self.topo.num_nodes):
+                if src != dst:
+                    self._route_objs[(src, dst)] = self._resolve(
+                        self.topo.path(src, dst), dst
+                    )
+
+    def _resolve(
+        self, route: List[SwitchId], dst: int
+    ) -> Tuple[Hop, ...]:
+        """Turn a switch-id route into ``((switch, out_link), ...)`` hops."""
+        switches = self.switches
+        last = len(route) - 1
+        return tuple(
+            (switches[sid],
+             switches[sid].output_to(dst if i == last else route[i + 1]))
+            for i, sid in enumerate(route)
+        )
 
     def attach_node(self, node: int, handler: DeliverFn) -> None:
         """Register the delivery callback for a node's NI receive module."""
@@ -142,22 +174,23 @@ class Fabric:
         if msg.created_at < 0:
             msg.created_at = self.sim.now
         msg.route = self.topo.path(msg.src, msg.dst)
+        msg.hops = self._route_objs[(msg.src, msg.dst)]
         link = self._inject_links[msg.src]
         grant, _tail = link.reserve(msg.flits, earliest=self.sim.now)
         msg.injected_at = grant
         self.stats.msgs_injected += 1
         self.stats.flits_injected += msg.flits
         header_at_switch = grant + self.cycles_per_flit
-        self.sim.at(header_at_switch, lambda: self._arrive(msg, 0))
+        self.sim.call_at(header_at_switch, self._arrive, msg, 0)
 
     # ------------------------------------------------------------------
     # per-hop processing
     # ------------------------------------------------------------------
     def _arrive(self, msg: Message, hop: int) -> None:
-        # hot path: one call per worm per switch; locals hoisted
-        sid = msg.route[hop]
-        switch = self.switches[sid]
-        msg.trace.append(sid)
+        # hot path: one call per worm per switch; route pre-resolved
+        hops = msg.hops
+        switch, link = hops[hop]
+        msg.trace.append(switch.id)
         tracer = self._tracer
         if tracer is not None:
             tracer.instant(
@@ -166,33 +199,69 @@ class Fabric:
             )
         engine = switch.cache_engine
         if engine is not None:
+            # identity checks against the hoisted members, not the MsgKind
+            # convenience properties: this runs once per worm per switch
             kind = msg.kind
-            if kind.snoops_switch_caches:
+            if kind is _INV:
                 engine.snoop(msg)
-            elif kind.switch_cacheable:
+            elif kind is _DATA_S:
                 engine.try_deposit(msg)
-            elif kind.interceptable:
+            elif kind is _READ:
                 served = engine.try_intercept(msg)
                 if served is not None:
                     data, ready_at = served
                     self._serve_from_switch(msg, switch, hop, data, ready_at)
                     return
-        self._forward(msg, hop, header_at=self.sim.now)
+        # _forward inlined for the header-just-arrived case (the grant
+        # arithmetic must stay in lockstep with Link.reserve): this body
+        # runs once per worm per hop and the call levels measurably show
+        # up.  Worms that enter the fabric here were all registered at
+        # inject, so SanitizedFabric's _forward ledger hook — needed only
+        # for fabricated switch replies — is not required on this path.
+        flits = msg.flits
+        duration = flits * link.cycles_per_flit
+        timeline = link.timeline
+        request_at = self.sim.now + switch.switch_delay
+        grant = timeline._free_at
+        if grant < request_at:
+            grant = request_at
+        timeline._free_at = grant + duration
+        timeline.busy_cycles += duration
+        timeline.reservations += 1
+        timeline.queued_cycles += grant - request_at
+        link.msgs += 1
+        link.flits += flits
+        switch.msgs_routed += 1
+        switch.flits_routed += flits
+        next_hop = hop + 1
+        if next_hop == len(hops):
+            self.sim.call_at(grant + duration, self._deliver, msg)
+        else:
+            self.sim.call_at(
+                grant + switch.cycles_per_flit, self._arrive, msg, next_hop
+            )
 
     def _forward(self, msg: Message, hop: int, header_at: int) -> None:
-        route = msg.route
-        switch = self.switches[route[hop]]
+        """Grant the hop's output link and move the worm one stage on.
+
+        Only reached for worms entering the network mid-fabric (the
+        switch-served DIR_UPDATE continuation); the per-hop fast path in
+        :meth:`_arrive` inlines this same sequence.  SanitizedFabric
+        wraps this method to register fabricated worms.
+        """
+        hops = msg.hops
+        switch, link = hops[hop]
+        flits = msg.flits
+        grant, tail_done = link.reserve(flits, header_at + switch.switch_delay)
+        switch.msgs_routed += 1
+        switch.flits_routed += flits
         next_hop = hop + 1
-        if next_hop == len(route):
-            _grant, _header_next, tail_done = switch.forward(
-                msg.flits, msg.dst, header_at
-            )
-            self.sim.at(tail_done, lambda: self._deliver(msg))
+        if next_hop == len(hops):
+            self.sim.call_at(tail_done, self._deliver, msg)
         else:
-            _grant, header_next, _tail = switch.forward(
-                msg.flits, route[next_hop], header_at
+            self.sim.call_at(
+                grant + switch.cycles_per_flit, self._arrive, msg, next_hop
             )
-            self.sim.at(header_next, lambda: self._arrive(msg, next_hop))
 
     def _deliver(self, msg: Message) -> None:
         msg.delivered_at = self.sim.now
@@ -280,6 +349,7 @@ class Fabric:
         reply.injected_at = ready_at
         # retrace the request's traversed prefix back to the requester
         reply.route = list(reversed(msg.trace))
+        reply.hops = self._resolve(reply.route, reply.dst)
         reply.trace.append(switch.id)
         self._forward(reply, 0, header_at=ready_at)
         # the request continues to the home as a 1-flit directory update;
@@ -333,7 +403,9 @@ class Fabric:
 
     def injection_queue_delay(self) -> float:
         """Mean NI injection queueing delay across all nodes (cycles)."""
-        delays = [l.mean_queueing_delay() for l in self._inject_links.values()]
+        delays = [
+            link.mean_queueing_delay() for link in self._inject_links.values()
+        ]
         return sum(delays) / len(delays) if delays else 0.0
 
 

@@ -115,6 +115,7 @@ class Message:
         "delivered_at",
         "trace",
         "route",
+        "hops",
         "transaction",
     )
 
@@ -142,6 +143,9 @@ class Message:
         self.delivered_at: int = -1
         self.trace: List[Tuple[int, int]] = []
         self.route: Optional[List[Tuple[int, int]]] = None
+        # the route resolved to ((switch, out-link), ...) hop objects by
+        # the fabric at injection, so per-hop forwarding is pure indexing
+        self.hops: Optional[Tuple[Any, ...]] = None
         self.transaction = transaction
 
     def header_fields(self) -> Dict[str, int]:

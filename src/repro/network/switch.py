@@ -89,12 +89,19 @@ class Switch:
         link, header arrival time at the neighbor, and the time the tail has
         fully crossed the link.
         """
-        link = self.output_to(neighbor)
+        return self.forward_on(self.output_to(neighbor), flits, header_at)
+
+    def forward_on(self, link: Link, flits: int, header_at: int):
+        """:meth:`forward` with the output link already resolved.
+
+        The fabric resolves each worm's route into (switch, link) hop
+        objects once at injection, so the per-hop output-dict lookup
+        disappears from the hot path.
+        """
         grant, tail_done = link.reserve(flits, earliest=header_at + self.switch_delay)
         self.msgs_routed += 1
         self.flits_routed += flits
-        header_next = grant + self.cycles_per_flit
-        return grant, header_next, tail_done
+        return grant, grant + self.cycles_per_flit, tail_done
 
     def outputs(self) -> Dict[Hashable, Link]:
         return dict(self._out)

@@ -208,7 +208,7 @@ class ClusterBus:
     def _start(self, op: _BusOp) -> None:
         self._active[op.block] = op
         start = self.wire.reserve(self.bus_cycles)
-        self.sim.at(start + self.bus_cycles, lambda: self._execute(op))
+        self.sim.call_at(start + self.bus_cycles, self._execute, op)
 
     def _complete(self, op: _BusOp, result=None) -> None:
         del self._active[op.block]
@@ -270,19 +270,19 @@ class ClusterBus:
         if netcache is not None and self.node.home_of(block) != self.node.node_id:
             data, done = netcache.lookup(block)
             if data is not None:
-                def finish(d=data):
-                    victim = stack.hierarchy.fill(block, LineState.SHARED, d,
-                                                  fill_l1=True)
-                    self.node.spill(victim)
-                    txn = self._local_txn("read", op, served_by="netcache",
-                                          data=d)
-                    self._complete(op, txn)
-                self.sim.at(done, finish)
+                self.sim.call_at(done, self._netcache_read_done, op, data)
                 return
             # miss: probe latency before the request departs
-            self.sim.at(done, lambda: self._network_read(op))
+            self.sim.call_at(done, self._network_read, op)
             return
         self._network_read(op)
+
+    def _netcache_read_done(self, op: _BusOp, data: int) -> None:
+        victim = op.stack.hierarchy.fill(op.block, LineState.SHARED, data,
+                                         fill_l1=True)
+        self.node.spill(victim)
+        txn = self._local_txn("read", op, served_by="netcache", data=data)
+        self._complete(op, txn)
 
     def _network_read(self, op: _BusOp) -> None:
         self.node.netctrl(op.stack).issue_read(

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
+from ..cache.states import LineState
 from ..coherence.messages import Transaction
 from ..errors import SimulationError
 from ..sim.engine import Simulator
@@ -96,7 +97,16 @@ class Processor:
         store_cycles = self.store_cycles
         trace_values = self.trace_values
         write_buffer = node.write_buffer
-        hierarchy_read = node.hierarchy.read
+        wb_contains = write_buffer.contains
+        # the two-level read probe is inlined below (instead of calling
+        # CacheHierarchy.read) so the per-load ReadResult allocation and
+        # call overhead disappear; the probe sequence — L1 lookup, L2
+        # lookup, L1 refill on an L2 hit — is identical
+        hierarchy = node.hierarchy
+        l1_lookup = hierarchy.l1.lookup
+        l2_lookup = hierarchy.l2.lookup
+        l1_insert = hierarchy.l1.insert
+        shared = LineState.SHARED
         node_id = node.node_id
         record_read_hit = stats.record_read_hit
         ops_iter = self._ops
@@ -121,26 +131,28 @@ class Processor:
             code = op[0]
             if code == "r":
                 addr = op[1]
-                if write_buffer.contains(addr):
+                if wb_contains(addr):
                     time += l1_cycles
                     ops_executed += 1
                     record_read_hit(node_id, "wb")
                     continue
-                result = hierarchy_read(addr)
-                level = result.level
-                if level == "l1":
+                line = l1_lookup(addr)
+                if line is not None:
                     time += l1_cycles
                     ops_executed += 1
                     record_read_hit(node_id, "l1")
                     if trace_values:
-                        self.value_trace.append(("r", addr, result.data, time))
+                        self.value_trace.append(("r", addr, line.data, time))
                     continue
-                if level == "l2":
+                line = l2_lookup(addr)
+                if line is not None:
+                    # L1 is no-write-allocate/write-through: refill clean
+                    l1_insert(addr, shared, line.data)
                     time += l2_cycles
                     ops_executed += 1
                     record_read_hit(node_id, "l2")
                     if trace_values:
-                        self.value_trace.append(("r", addr, result.data, time))
+                        self.value_trace.append(("r", addr, line.data, time))
                     continue
                 self.time = time
                 self.ops_executed = ops_executed
@@ -184,7 +196,7 @@ class Processor:
         self._stall_started = self.time
         issue_at = self.time + self.l2_cycles  # miss detection through L1+L2
         if issue_at > self.sim.now:
-            self.sim.at(issue_at, lambda: self._issue_read(addr))
+            self.sim.call_at(issue_at, self._issue_read, addr)
         else:
             self._issue_read(addr)
 

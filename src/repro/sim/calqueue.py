@@ -1,0 +1,207 @@
+"""Indexed calendar (bucket) queue for the event engine.
+
+The simulator's event delays are overwhelmingly small constants — one
+cycle for a pump, four for a flit or a switch crossing, tens for an SRAM
+access, a few hundred for memory and synchronization wakeups.  A binary
+heap pays O(log n) *Python-level* comparisons per operation for that
+workload; a calendar queue (Brown 1988, the classic DES structure)
+exploits the short-delay structure to schedule in O(1) amortized time.
+
+Design (see DESIGN.md §9):
+
+* ``nbuckets`` (a power of two) buckets, each covering ``width`` cycles
+  of the clock; an event at time ``t`` lives in bucket
+  ``(t // width) & (nbuckets - 1)``.
+* Each bucket is a small binary heap of ``(time, seq, event)`` tuples,
+  so intra-bucket ordering uses C tuple comparisons, never
+  ``Event.__lt__``, and the exact ``(time, seq)`` total order of the
+  reference heap engine is preserved — same times **and** same
+  tie-break, hence bit-identical simulations.
+* ``pop`` serves the current bucket's head while it belongs to the
+  current *year* (``time < top``), then advances bucket by bucket.  A
+  full fruitless wrap falls back to a direct O(nbuckets) search for the
+  minimum head (the sparse-queue escape hatch).
+* The bucket count doubles when occupancy exceeds two events per bucket
+  and halves below one event per two buckets; each resize re-estimates
+  ``width`` from the surviving events' inter-arrival gaps.
+* Scheduling earlier than the current window start (possible after a
+  ``peek`` advanced the scan position past a quiet region) rewinds the
+  scan position, so order stays exact.
+
+Cancellation is lazy, exactly as in the heap engine: cancelled events
+stay queued and are discarded by the :class:`~repro.sim.engine.Simulator`
+when popped.  The queue itself never inspects ``cancelled``.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .engine import Event
+
+#: one bucket entry: (time, seq, event) — compared as a C-level tuple
+Entry = Tuple[int, int, "Event"]
+
+#: smallest/largest bucket counts the auto-resizer will use
+MIN_BUCKETS = 32
+MAX_BUCKETS = 1 << 16
+
+#: bucket widths are clamped to this range (cycles)
+MIN_WIDTH = 1
+MAX_WIDTH = 1 << 12
+
+#: at most this many events are sampled to re-estimate the width
+WIDTH_SAMPLE = 64
+
+
+class CalendarQueue:
+    """Priority queue over events, ordered exactly by ``(time, seq)``."""
+
+    __slots__ = (
+        "_buckets", "_nbuckets", "_mask", "_width", "_size", "_cur", "_top",
+        "_rewind_below", "_grow_above", "_shrink_below", "peak",
+    )
+
+    def __init__(self) -> None:
+        # initial width: 16 cycles/bucket covers a 512-cycle ring, the
+        # span of the machine's short-horizon events (flits, SRAM, switch
+        # crossings), so the scan rarely wraps before a resize tunes it
+        self._width: int = 16
+        self._size: int = 0
+        self.peak: int = 0  # high-water queue depth (incl. cancelled)
+        self._spread(MIN_BUCKETS, self._width, [])
+        self._position(0)
+
+    # ------------------------------------------------------------------
+    # layout helpers
+    # ------------------------------------------------------------------
+    def _spread(self, nbuckets: int, width: int, entries: List[Entry]) -> None:
+        """Lay ``entries`` out over a fresh ring of ``nbuckets`` buckets."""
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._width = width
+        # resize thresholds, precomputed so push/pop compare one int
+        self._grow_above = 2 * nbuckets if nbuckets < MAX_BUCKETS else 1 << 62
+        self._shrink_below = nbuckets // 2 if nbuckets > MIN_BUCKETS else 0
+        buckets: List[List[Entry]] = [[] for _ in range(nbuckets)]
+        for entry in entries:
+            buckets[(entry[0] // width) & self._mask].append(entry)
+        for bucket in buckets:
+            if len(bucket) > 1:
+                heapify(bucket)
+        self._buckets = buckets
+
+    def _position(self, time: int) -> None:
+        """Point the scan at the year containing ``time``."""
+        year = time // self._width
+        self._cur = year & self._mask
+        self._top = (year + 1) * self._width
+        self._rewind_below = self._top - self._width
+
+    def _resize(self, nbuckets: int) -> None:
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        width = self._estimate_width(entries)
+        self._spread(nbuckets, width, entries)
+        if entries:
+            self._position(min(entry[0] for entry in entries))
+
+    def _estimate_width(self, entries: List[Entry]) -> int:
+        """Mean inter-event gap of a deterministic sample, clamped sane."""
+        stride = max(1, len(entries) // WIDTH_SAMPLE)
+        times = sorted({entry[0] for entry in entries[::stride]})
+        if len(times) < 2:
+            return self._width
+        gap = (times[-1] - times[0]) / (len(times) - 1)
+        return max(MIN_WIDTH, min(MAX_WIDTH, int(gap) + 1))
+
+    # ------------------------------------------------------------------
+    # queue interface (shared with HeapQueue)
+    # ------------------------------------------------------------------
+    def push(self, event: "Event") -> None:
+        time = event.time
+        heappush(
+            self._buckets[(time // self._width) & self._mask],
+            (time, event.seq, event),
+        )
+        size = self._size = self._size + 1
+        if size > self.peak:
+            self.peak = size
+        if time < self._rewind_below:
+            # earlier than the current window: rewind the scan so the new
+            # event is served in exact (time, seq) order
+            self._position(time)
+        if size > self._grow_above:
+            self._resize(self._nbuckets * 2)
+
+    def pop(self) -> Optional["Event"]:
+        if self._size == 0:
+            return None
+        # fast path: any event earlier than ``_top`` necessarily lives in
+        # the current bucket (push rewinds the scan on earlier times), so
+        # a live head here *is* the global minimum — no scan needed
+        bucket = self._buckets[self._cur]
+        if not (bucket and bucket[0][0] < self._top):
+            bucket = self._min_bucket()
+        size = self._size = self._size - 1
+        event = heappop(bucket)[2]
+        if size < self._shrink_below and size:
+            self._resize(self._nbuckets // 2)
+        return event
+
+    def peek(self) -> Optional["Event"]:
+        if self._size == 0:
+            return None
+        bucket = self._buckets[self._cur]
+        if bucket and bucket[0][0] < self._top:
+            return bucket[0][2]
+        bucket = self._min_bucket()
+        return bucket[0][2]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator["Event"]:
+        for bucket in self._buckets:
+            for entry in bucket:
+                yield entry[2]
+
+    # ------------------------------------------------------------------
+    # the scan
+    # ------------------------------------------------------------------
+    def _min_bucket(self) -> List[Entry]:
+        """The bucket holding the minimum entry; positions the scan on it.
+
+        Callers guarantee ``_size > 0`` (and that the current bucket's
+        fast path already failed).
+        """
+        buckets = self._buckets
+        mask = self._mask
+        width = self._width
+        i = self._cur
+        top = self._top
+        for _ in range(self._nbuckets):
+            bucket = buckets[i]
+            if bucket and bucket[0][0] < top:
+                self._cur = i
+                self._top = top
+                self._rewind_below = top - width
+                return bucket
+            i = (i + 1) & mask
+            top += width
+        # a full wrap found nothing in its year: the queue is sparse
+        # relative to the ring — jump straight to the global minimum
+        best: Optional[List[Entry]] = None
+        for bucket in buckets:
+            if bucket and (best is None or bucket[0] < best[0]):
+                best = bucket
+        assert best is not None  # _size > 0 guarantees a head exists
+        self._position(best[0][0])
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CalendarQueue size={self._size} buckets={self._nbuckets} "
+            f"width={self._width}>"
+        )

@@ -11,6 +11,18 @@ global step.  Two properties matter for a reproduction study:
   processor models fast-forward through long runs of cache hits without
   touching the queue (see :mod:`repro.node.processor`).
 
+Two interchangeable event queues implement the ``(time, seq)`` total
+order (see DESIGN.md §9): the default :class:`~repro.sim.calqueue.
+CalendarQueue` (O(1) amortized, exploits the machine's small constant
+delays) and the reference :class:`HeapQueue` binary heap.  Set
+``REPRO_ENGINE=heap`` (or pass ``engine="heap"``) to force the reference
+implementation; both produce bit-identical simulations.
+
+Scheduling is closure-free: ``sim.call(delay, fn, *args)`` stores the
+function and its arguments on the :class:`Event` instead of requiring a
+per-event lambda, and popped events are recycled through a small free
+list, so steady-state simulation allocates (almost) nothing per event.
+
 Time is measured in integer *cycles* of the system clock (the paper's
 switches, links and processors all run at 200 MHz, so a single clock domain
 suffices; components with slower logic express their latency as a cycle
@@ -19,29 +31,54 @@ count).
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional, Tuple
+import os
+import sys
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterator, List, Optional, Tuple, Union
 
 from ..errors import SimulationError
+from .calqueue import CalendarQueue
 
-Callback = Callable[[], Any]
+Callback = Callable[..., Any]
+
+#: ``sys.getrefcount`` is CPython-specific; without it the free list is
+#: simply never fed (correct, just no recycling)
+_getrefcount: Optional[Callable[[object], int]] = getattr(
+    sys, "getrefcount", None
+)
+
+#: recycled events point here so the dead callback (and anything its cell
+#: captured) is released immediately
+def _no_callback() -> None:  # pragma: no cover - never scheduled
+    raise SimulationError("recycled event fired")
+
+
+#: free-list bound: enough to absorb the pop/push churn of a busy machine
+#: without pinning an unbounded pile of dead objects
+_FREE_MAX = 512
 
 
 class Event:
-    """A scheduled callback.
+    """A scheduled callback (plus its arguments).
 
     Holding on to the returned event allows cancellation; cancelled events
-    stay in the heap but are skipped when popped (lazy deletion).
+    stay queued but are skipped when popped (lazy deletion).
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
-        self, time: int, seq: int, callback: Callback, sim: "Simulator" = None
+        self,
+        time: int,
+        seq: int,
+        callback: Callback,
+        sim: Optional["Simulator"] = None,
+        args: Tuple[Any, ...] = (),
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.args = args
         self.cancelled = False
         self._sim = sim
 
@@ -63,29 +100,84 @@ class Event:
         return f"<Event t={self.time} seq={self.seq}{state}>"
 
 
+class HeapQueue:
+    """Reference event queue: a plain binary heap of events.
+
+    Kept byte-for-byte faithful to the original engine's behaviour so
+    ``REPRO_ENGINE=heap`` is a true escape hatch for differential
+    debugging of the calendar queue.
+    """
+
+    __slots__ = ("_heap", "peak")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self.peak: int = 0  # high-water queue depth (incl. cancelled)
+
+    def push(self, event: Event) -> None:
+        heappush(self._heap, event)
+        if len(self._heap) > self.peak:
+            self.peak = len(self._heap)
+
+    def pop(self) -> Optional[Event]:
+        return heappop(self._heap) if self._heap else None
+
+    def peek(self) -> Optional[Event]:
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._heap)
+
+
+EventQueue = Union[HeapQueue, CalendarQueue]
+
+#: environment variable selecting the event queue ("calendar" | "heap")
+ENGINE_ENV = "REPRO_ENGINE"
+
+
+def _make_queue(engine: str) -> EventQueue:
+    if engine == "calendar":
+        return CalendarQueue()
+    if engine == "heap":
+        return HeapQueue()
+    raise SimulationError(
+        f"unknown event engine {engine!r} (expected 'calendar' or 'heap')"
+    )
+
+
 class Simulator:
     """Event queue and clock for one simulated machine.
 
     Typical component code::
 
-        sim.schedule(4, lambda: port.grant(msg))     # relative delay
-        sim.at(sim.now + latency, self._finish)      # absolute time
+        sim.call(4, port.grant, msg)            # relative delay, no lambda
+        sim.call_at(sim.now + latency, self._finish, txn)
 
-    The engine never advances past ``horizon`` (if set), which the tests use
+    (``schedule``/``at`` remain as zero-argument conveniences.)  The
+    engine never advances past ``horizon`` (if set), which the tests use
     to bound runaway models.
     """
 
     __slots__ = (
         "now", "_seq", "_queue", "_events_fired", "_cancelled_queued",
-        "horizon", "tracer",
+        "horizon", "tracer", "engine", "_free",
     )
 
-    def __init__(self, horizon: Optional[int] = None) -> None:
+    def __init__(
+        self, horizon: Optional[int] = None, engine: Optional[str] = None
+    ) -> None:
         self.now: int = 0
         self._seq: int = 0
-        self._queue: List[Event] = []
+        if engine is None:
+            engine = os.environ.get(ENGINE_ENV, "calendar")
+        self.engine: str = engine
+        self._queue: EventQueue = _make_queue(engine)
         self._events_fired: int = 0
-        self._cancelled_queued: int = 0  # cancelled events still in _queue
+        self._cancelled_queued: int = 0  # cancelled events still queued
+        self._free: List[Event] = []
         self.horizon = horizon
         # observability hook: components reach the run's Tracer through
         # the simulator they already hold (None = tracing disabled; every
@@ -100,18 +192,56 @@ class Simulator:
         """Schedule ``callback`` to fire ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.at(self.now + delay, callback)
+        return self.call_at(self.now + delay, callback)
 
     def at(self, time: int, callback: Callback) -> Event:
         """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
+        return self.call_at(time, callback)
+
+    def call(self, delay: int, fn: Callback, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` ``delay`` cycles from now, closure-free."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self.now + delay, fn, *args)
+
+    def call_at(self, time: int, fn: Callback, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute cycle ``time`` (>= now)."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event in the past: {time} < now {self.now}"
             )
-        self._seq += 1
-        event = Event(time, self._seq, callback, self)
-        heapq.heappush(self._queue, event)
+        self._seq = seq = self._seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = fn
+            event.args = args
+            event.cancelled = False
+            event._sim = self
+        else:
+            event = Event(time, seq, fn, self, args)
+        self._queue.push(event)
         return event
+
+    def _recycle(self, event: Event) -> None:
+        """Return a popped event to the free list if nobody else holds it.
+
+        The refcount guard (local + argument + getrefcount's own temporary
+        = 3) means an event whose handle a component kept — e.g. to cancel
+        it later — is never recycled, so stale handles stay inert forever
+        rather than cancelling an unrelated reused event.
+        """
+        free = self._free
+        if (
+            len(free) < _FREE_MAX
+            and _getrefcount is not None
+            and _getrefcount(event) == 3
+        ):
+            event.callback = _no_callback
+            event.args = ()
+            free.append(event)
 
     # ------------------------------------------------------------------
     # running
@@ -119,19 +249,24 @@ class Simulator:
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""
         queue = self._queue
-        while queue:
-            event = heapq.heappop(queue)
+        while True:
+            event = queue.pop()
+            if event is None:
+                return False
             event._sim = None
             if event.cancelled:
                 self._cancelled_queued -= 1
+                self._recycle(event)
                 continue
             if self.horizon is not None and event.time > self.horizon:
                 return False
             self.now = event.time
             self._events_fired += 1
-            event.callback()
+            callback = event.callback
+            args = event.args
+            self._recycle(event)
+            callback(*args)
             return True
-        return False
 
     def run(self, until: Optional[int] = None) -> int:
         """Run until the queue drains (or ``until`` cycles).  Returns now.
@@ -141,73 +276,114 @@ class Simulator:
         double scan over cancelled heads.
         """
         queue = self._queue
-        heappop, heappush = heapq.heappop, heapq.heappush
+        pop = queue.pop
+        recycle = self._recycle
         horizon = self.horizon
         if until is None:
-            while queue:
-                event = heappop(queue)
+            while True:
+                event = pop()
+                if event is None:
+                    break
                 event._sim = None
                 if event.cancelled:
                     self._cancelled_queued -= 1
+                    recycle(event)
                     continue
                 if horizon is not None and event.time > horizon:
                     break  # beyond the horizon: drop, as step() does
                 self.now = event.time
                 self._events_fired += 1
-                event.callback()
+                callback = event.callback
+                args = event.args
+                recycle(event)
+                callback(*args)
         else:
-            while queue:
-                event = heappop(queue)
+            push = queue.push
+            while True:
+                event = pop()
+                if event is None:
+                    break
                 if event.cancelled:
                     event._sim = None
                     self._cancelled_queued -= 1
+                    recycle(event)
                     continue
                 if event.time > until:
-                    heappush(queue, event)  # not ours to fire; put it back
+                    push(event)  # not ours to fire; put it back
                     break
                 event._sim = None
                 if horizon is not None and event.time > horizon:
+                    recycle(event)
                     continue  # beyond the horizon: drop, as step() does
                 self.now = event.time
                 self._events_fired += 1
-                event.callback()
+                callback = event.callback
+                args = event.args
+                recycle(event)
+                callback(*args)
             self.now = max(self.now, until)
         return self.now
 
     def run_while(self, predicate: Callable[[], bool]) -> int:
-        """Run events while ``predicate()`` holds and events remain."""
+        """Run events while ``predicate()`` holds and events remain.
+
+        This is the machine's main loop; the free-list recycle of
+        :meth:`_recycle` is inlined (the refcount threshold is 2 here,
+        not 3, because there is no extra callee frame holding the event).
+        """
         queue = self._queue
-        heappop = heapq.heappop
+        pop = queue.pop
+        recycle = self._recycle
+        free = self._free
+        grc = _getrefcount
         horizon = self.horizon
-        while predicate():
-            # inline step(): this is the machine's main loop
-            fired = False
-            while queue:
-                event = heappop(queue)
-                event._sim = None
-                if event.cancelled:
+        fired = 0
+        try:
+            while predicate():
+                while True:
+                    event = pop()
+                    if event is None:
+                        return self.now
+                    event._sim = None
+                    if not event.cancelled:
+                        break
+                    # discarding a cancelled event cannot change the
+                    # predicate, so looping here matches firing semantics
                     self._cancelled_queued -= 1
-                    continue
+                    recycle(event)
                 if horizon is not None and event.time > horizon:
-                    break
+                    return self.now  # beyond the horizon: drop, as step()
                 self.now = event.time
-                self._events_fired += 1
-                event.callback()
-                fired = True
-                break
-            if not fired:
-                break
-        return self.now
+                fired += 1
+                callback = event.callback
+                args = event.args
+                if (
+                    len(free) < _FREE_MAX
+                    and grc is not None
+                    and grc(event) == 2
+                ):
+                    event.callback = _no_callback
+                    event.args = ()
+                    free.append(event)
+                callback(*args)
+            return self.now
+        finally:
+            # counted locally in the loop; published even on an exception
+            self._events_fired += fired
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def _peek(self) -> Optional[Event]:
-        while self._queue and self._queue[0].cancelled:
-            event = heapq.heappop(self._queue)
-            event._sim = None
+        queue = self._queue
+        while True:
+            head = queue.peek()
+            if head is None or not head.cancelled:
+                return head
+            queue.pop()
+            head._sim = None
             self._cancelled_queued -= 1
-        return self._queue[0] if self._queue else None
+            self._recycle(head)
 
     @property
     def pending(self) -> int:
@@ -219,6 +395,11 @@ class Simulator:
         return len(self._queue) - self._cancelled_queued
 
     @property
+    def peak_pending(self) -> int:
+        """High-water queue depth (including cancelled-but-queued events)."""
+        return self._queue.peak
+
+    @property
     def events_fired(self) -> int:
         return self._events_fired
 
@@ -227,4 +408,7 @@ class Simulator:
         return head.time if head is not None else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self.now} pending={self.pending}>"
+        return (
+            f"<Simulator now={self.now} pending={self.pending} "
+            f"engine={self.engine}>"
+        )

@@ -48,8 +48,15 @@ class Timeline:
         ``earliest`` lets a caller that is not yet ready (e.g. a flit still
         in flight) ask for a slot no sooner than a future cycle.
         """
-        request_at = self.sim.now if earliest is None else max(earliest, self.sim.now)
-        start = max(self._free_at, request_at)
+        # hot path (every link/port grant): branches instead of max()
+        now = self.sim.now
+        if earliest is None or earliest < now:
+            request_at = now
+        else:
+            request_at = earliest
+        start = self._free_at
+        if start < request_at:
+            start = request_at
         self._free_at = start + duration
         self.busy_cycles += duration
         self.reservations += 1
@@ -121,7 +128,7 @@ class FifoServer:
         occupancy = self.service(request)
         self.busy_cycles += occupancy
         self.served += 1
-        self.sim.schedule(occupancy, lambda r=request: self._finish(r))
+        self.sim.call(occupancy, self._finish, request)
 
     def _finish(self, request: object) -> None:
         if self.done is not None:

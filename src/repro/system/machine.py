@@ -104,6 +104,7 @@ class Machine:
         self.locks = LockManager(self.sim, config.lock_handoff_cycles)
         self._sync_addrs: Dict[Tuple[str, int], int] = {}
         self._done_count = 0
+        self._num_procs = config.num_nodes * config.procs_per_node
         self.nodes: List[Node] = [
             Node(
                 self.sim,
@@ -155,6 +156,10 @@ class Machine:
         self._done_count += 1
         self.stats.record_finish(proc_id, self.sim.now)
 
+    def _procs_remaining(self) -> bool:
+        """Main-loop predicate: processors still running (called per event)."""
+        return self._done_count < self._num_procs
+
     def _sample_metrics(self) -> None:
         """Periodic sampler: occupancy/hit-rate and memory backlogs.
 
@@ -203,7 +208,7 @@ class Machine:
     # ------------------------------------------------------------------
     @property
     def num_procs(self) -> int:
-        return self.config.num_nodes * self.config.procs_per_node
+        return self._num_procs
 
     def node_of_proc(self, proc_id: int) -> int:
         return proc_id // self.config.procs_per_node
@@ -223,7 +228,7 @@ class Machine:
         metrics = self.metrics
         if metrics is not None and metrics.sample_interval:
             self.sim.schedule(metrics.sample_interval, self._sample_metrics)
-        self.sim.run_while(lambda: self._done_count < self.num_procs)
+        self.sim.run_while(self._procs_remaining)
         if self._done_count < self.num_procs:
             stuck = [s.proc_id for s in self.stacks() if not s.processor.done]
             raise DeadlockError(

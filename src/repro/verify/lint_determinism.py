@@ -12,11 +12,17 @@ A run must be a pure function of the configuration and the seeds (see
   sharer set) makes message fan-out order depend on hash order, which
   varies across Python builds.  Wrap the iterable in ``sorted()``.
 
-One structural rule rides along:
+Two structural rules ride along:
 
 * **H (hot-path slots)** — classes in the engine/fabric hot paths must
   declare ``__slots__``; attribute-dict lookups there dominate the
   simulator's profile (see PR 1).
+* **L (lambda scheduling)** — scheduling a ``lambda`` through
+  ``sim.schedule``/``at``/``call``/``call_at`` allocates a closure cell
+  per event and defeats the engine's event free list (recycled events
+  store ``fn`` + ``args`` directly; see DESIGN.md §9).  Kernel code must
+  pass the bound method and its arguments instead:
+  ``sim.call(delay, self._finish, txn)``.
 
 Run as ``python -m repro.verify.lint`` (exit status 1 when findings
 exist).  The rules are deliberately narrow — they whitelist nothing via
@@ -64,10 +70,13 @@ GLOBAL_RANDOM_FNS = {
     "sample", "uniform", "gauss", "random_sample", "seed",
 }
 
+#: scheduling methods whose callback argument must not be a lambda (rule L)
+SCHEDULING_METHODS = {"schedule", "at", "call", "call_at"}
+
 
 @dataclass(frozen=True)
 class Finding:
-    rule: str  # "W" | "R" | "S" | "H"
+    rule: str  # "W" | "R" | "S" | "H" | "L"
     path: str  # repo-relative module path
     line: int
     message: str
@@ -106,7 +115,7 @@ class _ModuleLint(ast.NodeVisitor):
             Finding(rule, self.rel_path, getattr(node, "lineno", 0), message)
         )
 
-    # -- rule W + R: wall clock and global randomness -------------------
+    # -- rule W + R + L: wall clock, randomness, lambda scheduling ------
     def visit_Call(self, node: ast.Call) -> None:
         dotted = _dotted(node.func)
         if dotted is not None:
@@ -124,6 +133,17 @@ class _ModuleLint(ast.NodeVisitor):
                     f"unseeded global randomness {dotted}() — take a "
                     f"seeded random.Random instance instead",
                 )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in SCHEDULING_METHODS
+            and any(isinstance(arg, ast.Lambda) for arg in node.args)
+        ):
+            self._report(
+                "L", node,
+                f"lambda scheduled via .{node.func.attr}() — pass the "
+                f"function and its arguments closure-free instead "
+                f"(sim.call(delay, fn, *args))",
+            )
         self.generic_visit(node)
 
     def visit_Import(self, node: ast.Import) -> None:

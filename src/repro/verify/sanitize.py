@@ -34,8 +34,7 @@ the coherence, engine, and sync checks only.
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import SanitizerError
 from ..network.fabric import Fabric
@@ -228,7 +227,7 @@ class SanitizedSimulator(Simulator):
         san.events_checked += 1
         if san.events_checked % AUDIT_PERIOD == 0:
             self.audit()
-        event.callback()
+        event.callback(*event.args)
 
     def audit(self) -> None:
         """O(n) recount of live events vs the O(1) ``pending`` counter."""
@@ -246,10 +245,18 @@ class SanitizedSimulator(Simulator):
         return None
 
     # -- run loops (same external semantics as the base class) ----------
+    # These go through the engine-agnostic queue interface (push/pop/
+    # iterate), so the sanitizer works identically over the calendar
+    # queue and the reference heap.  Events are deliberately never
+    # recycled here: a stale free-list reuse would be exactly the kind
+    # of bug SCSan exists to catch, so the sanitized engine keeps every
+    # fired event distinct.
     def step(self) -> bool:
         queue = self._queue
-        while queue:
-            event = heapq.heappop(queue)
+        while True:
+            event = queue.pop()
+            if event is None:
+                return False
             event._sim = None
             if event.cancelled:
                 self._cancelled_queued -= 1
@@ -258,7 +265,6 @@ class SanitizedSimulator(Simulator):
                 return False
             self._fire(event)
             return True
-        return False
 
     def run(self, until: Optional[int] = None) -> int:
         if until is None:
@@ -266,14 +272,16 @@ class SanitizedSimulator(Simulator):
                 pass
             return self.now
         queue = self._queue
-        while queue:
-            event = heapq.heappop(queue)
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
             if event.cancelled:
                 event._sim = None
                 self._cancelled_queued -= 1
                 continue
             if event.time > until:
-                heapq.heappush(queue, event)  # not ours to fire
+                queue.push(event)  # not ours to fire
                 break
             event._sim = None
             if self.horizon is not None and event.time > self.horizon:
@@ -282,7 +290,7 @@ class SanitizedSimulator(Simulator):
         self.now = max(self.now, until)
         return self.now
 
-    def run_while(self, predicate) -> int:
+    def run_while(self, predicate: Callable[[], bool]) -> int:
         while predicate() and self.step():
             pass
         return self.now

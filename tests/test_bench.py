@@ -1,0 +1,74 @@
+"""Tests for the engine perf-trajectory harness (repro.experiments.bench)."""
+
+import json
+
+import pytest
+
+from repro.apps.synthetic import SharedReaders
+from repro.experiments import bench
+from repro.system.presets import base_config
+
+
+@pytest.fixture
+def tiny_workloads(monkeypatch):
+    monkeypatch.setattr(bench, "_workloads", lambda: [
+        ("tiny", lambda: base_config(4),
+         lambda: SharedReaders(nbytes=1024, rounds=1)),
+    ])
+
+
+def test_run_bench_measures_both_engines(tiny_workloads):
+    payload = bench.run_bench(repeat=1)
+    entry = payload["workloads"]["tiny"]
+    assert entry["cycles"] > 0 and entry["events"] > 0
+    for engine in bench.ENGINES:
+        assert entry[engine]["events_per_s"] > 0
+        assert entry[engine]["peak_pending"] > 0
+    assert entry["speedup"] > 0
+    assert payload["geomean_speedup"] == entry["speedup"]
+
+
+def test_check_against_accepts_itself(tiny_workloads):
+    payload = bench.run_bench(repeat=1)
+    assert bench.check_against(payload, payload) == []
+
+
+def test_check_against_flags_timing_drift_and_regression(tiny_workloads):
+    payload = bench.run_bench(repeat=1)
+    drifted = json.loads(json.dumps(payload))
+    drifted["workloads"]["tiny"]["cycles"] += 1
+    problems = bench.check_against(drifted, payload)
+    assert any("drifted" in p for p in problems)
+
+    slower = json.loads(json.dumps(payload))
+    slower["workloads"]["tiny"]["speedup"] = (
+        payload["workloads"]["tiny"]["speedup"] * 0.5
+    )
+    problems = bench.check_against(slower, payload, threshold=0.25)
+    assert any("regressed" in p for p in problems)
+
+
+def test_check_against_flags_workload_set_changes(tiny_workloads):
+    payload = bench.run_bench(repeat=1)
+    renamed = json.loads(json.dumps(payload))
+    renamed["workloads"] = {"other": payload["workloads"]["tiny"]}
+    problems = bench.check_against(renamed, payload)
+    assert any("missing from the committed baseline" in p for p in problems)
+    assert any("no longer benched" in p for p in problems)
+
+
+def test_bench_command_preserves_trajectory(tiny_workloads, tmp_path, capsys):
+    out = tmp_path / "BENCH_engine.json"
+    assert bench.bench_command(output=str(out), baseline=str(out)) == 0
+    payload = json.loads(out.read_text())
+    history = [{"label": "seed", "events_per_s": {"tiny": 123}}]
+    payload["trajectory"] = history
+    out.write_text(json.dumps(payload))
+
+    # regeneration (and --check against the committed file) keeps history
+    assert bench.bench_command(
+        output=str(out), baseline=str(out), check=True
+    ) == 0
+    regenerated = json.loads(out.read_text())
+    assert regenerated["trajectory"] == history
+    assert "perf-smoke ok" in capsys.readouterr().out

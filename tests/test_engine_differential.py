@@ -1,0 +1,269 @@
+"""Differential tests: calendar queue vs reference heap engine.
+
+The calendar queue (`repro.sim.calqueue`) must be *observationally
+identical* to the reference binary heap — same firing order, same clock,
+same pending counts — because the whole reproduction study rests on
+bit-identical simulations under either engine (DESIGN.md §9).
+
+The core test replays a seeded random op-script through both engines in
+lockstep and compares every observable after every op.  The script is
+adversarial on purpose: same-cycle bursts (seq tie-break), cancellation
+storms (lazy deletion), huge time jumps (bucket-ring wrap + sparse-queue
+direct search + width re-estimation on resize), and peek-then-schedule-
+earlier (the scan-rewind path).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.calqueue import CalendarQueue, MIN_BUCKETS
+from repro.sim.engine import ENGINE_ENV, HeapQueue, Simulator
+
+ENGINES = ("heap", "calendar")
+
+
+# ----------------------------------------------------------------------
+# lockstep fuzz
+# ----------------------------------------------------------------------
+class _Recorder:
+    """Collects (label, fire_time) pairs; the differential observable."""
+
+    def __init__(self):
+        self.fired = []
+
+    def make(self, sim, label):
+        def callback():
+            self.fired.append((label, sim.now))
+        return callback
+
+
+def _lockstep(seed, ops=400):
+    """Replay one op-script through both engines, comparing every step."""
+    rng = random.Random(seed)
+    script = []
+    for _ in range(ops):
+        roll = rng.random()
+        if roll < 0.45:
+            script.append(("schedule", rng.choice((0, 1, 1, 2, 4, 4, 8, 30))))
+        elif roll < 0.55:
+            # same-cycle burst: seq must break the tie identically
+            delay = rng.choice((0, 2, 4))
+            script.extend(("schedule", delay) for _ in range(rng.randint(2, 5)))
+        elif roll < 0.62:
+            # huge jump: forces ring wrap, direct search, resize widths
+            script.append(("schedule", rng.choice((10_000, 100_000))))
+        elif roll < 0.72:
+            script.append(("cancel", rng.randrange(1 << 30)))
+        elif roll < 0.80:
+            # peek advances nothing but positions the calendar scan;
+            # follow with an earlier schedule to hit the rewind path
+            script.append(("peek_then_earlier", rng.choice((0, 1, 2))))
+        elif roll < 0.92:
+            script.append(("step", rng.randint(1, 8)))
+        else:
+            script.append(("run_while", rng.randint(1, 30)))
+
+    sims = {engine: Simulator(engine=engine) for engine in ENGINES}
+    recs = {engine: _Recorder() for engine in ENGINES}
+    handles = {engine: [] for engine in ENGINES}
+    label = 0
+
+    def compare(op_idx, op):
+        ref = sims["heap"]
+        cal = sims["calendar"]
+        context = f"op {op_idx} {op}: heap vs calendar"
+        assert recs["heap"].fired == recs["calendar"].fired, context
+        assert ref.now == cal.now, context
+        assert ref.pending == cal.pending, context
+        assert len(ref._queue) == len(cal._queue), context
+        assert ref.events_fired == cal.events_fired, context
+        assert ref.next_event_time() == cal.next_event_time(), context
+
+    for op_idx, (kind, arg) in enumerate(script):
+        for engine, sim in sims.items():
+            rec, hs = recs[engine], handles[engine]
+            if kind == "schedule":
+                hs.append(sim.schedule(arg, rec.make(sim, label)))
+            elif kind == "cancel":
+                live = [e for e in hs if not e.cancelled]
+                if live:
+                    live[arg % len(live)].cancel()
+            elif kind == "peek_then_earlier":
+                sim.next_event_time()
+                hs.append(sim.schedule(arg, rec.make(sim, label)))
+            elif kind == "step":
+                for _ in range(arg):
+                    sim.step()
+            elif kind == "run_while":
+                budget = [arg]
+
+                def more(budget=budget):
+                    budget[0] -= 1
+                    return budget[0] >= 0
+
+                sim.run_while(more)
+        if kind in ("schedule", "peek_then_earlier"):
+            label += 1
+        compare(op_idx, (kind, arg))
+
+    for sim in sims.values():
+        sim.run()
+    compare(len(script), ("drain", None))
+    assert recs["heap"].fired  # the script actually fired something
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_lockstep_fuzz(seed):
+    _lockstep(seed)
+
+
+def test_lockstep_fuzz_long():
+    _lockstep(seed=1234, ops=1500)
+
+
+# ----------------------------------------------------------------------
+# targeted calendar-queue mechanics (via the public queue interface)
+# ----------------------------------------------------------------------
+def _drain(queue):
+    order = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return order
+        order.append((event.time, event.seq))
+
+
+def _events(times):
+    sim = Simulator(engine="heap")  # any factory for Event objects
+    return [sim.call_at(t, lambda: None) for t in times]
+
+
+def test_queues_agree_on_total_order():
+    times = [5, 5, 5, 0, 131072, 17, 17, 3, 99999, 64, 64, 64, 64, 2]
+    expected = sorted((t, seq) for seq, t in enumerate(times, start=1))
+    heap, cal = HeapQueue(), CalendarQueue()
+    for event in _events(times):
+        heap.push(event)
+        cal.push(event)
+    assert _drain(heap) == _drain(cal) == expected
+
+
+def test_calendar_resize_grows_and_shrinks():
+    cal = CalendarQueue()
+    events = _events(range(0, 4 * MIN_BUCKETS * 3, 3))
+    for event in events:
+        cal.push(event)
+    assert cal._nbuckets > MIN_BUCKETS  # grew past the initial ring
+    assert _drain(cal) == [(e.time, e.seq) for e in events]
+    assert cal._nbuckets == MIN_BUCKETS  # shrank back as it drained
+
+
+def test_calendar_sparse_direct_search():
+    # two events a ring-length apart: the year scan wraps fruitlessly
+    # and the direct-search fallback must still find the later one
+    cal = CalendarQueue()
+    early, late = _events([1, 10_000_000])
+    cal.push(early)
+    cal.push(late)
+    assert cal.pop() is early
+    assert cal.pop() is late
+    assert cal.pop() is None
+
+
+def test_calendar_rewind_after_peek():
+    cal = CalendarQueue()
+    far, = _events([5_000])
+    cal.push(far)
+    assert cal.peek() is far  # positions the scan at cycle 5000's year
+    near, = _events([3])
+    near.seq = far.seq + 1
+    cal.push(near)  # must rewind the scan
+    assert cal.pop() is near
+    assert cal.pop() is far
+
+
+# ----------------------------------------------------------------------
+# engine selection and closure-free scheduling API
+# ----------------------------------------------------------------------
+def test_engine_selection_kwarg():
+    assert isinstance(Simulator(engine="heap")._queue, HeapQueue)
+    assert isinstance(Simulator(engine="calendar")._queue, CalendarQueue)
+
+
+def test_engine_selection_env(monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV, "heap")
+    assert isinstance(Simulator()._queue, HeapQueue)
+    monkeypatch.delenv(ENGINE_ENV)
+    assert isinstance(Simulator()._queue, CalendarQueue)  # default
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(engine="wheel")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_call_passes_arguments(engine):
+    sim = Simulator(engine=engine)
+    seen = []
+    sim.call(3, seen.append, "a")
+    sim.call_at(5, lambda x, y: seen.append((x, y)), 1, 2)
+    sim.run()
+    assert seen == ["a", (1, 2)]
+    assert sim.now == 5
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_peak_pending_high_water(engine):
+    sim = Simulator(engine=engine)
+    for t in (4, 1, 9, 2):
+        sim.call_at(t, lambda: None)
+    sim.run()
+    assert sim.peak_pending == 4
+    assert sim.pending == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_free_list_recycles_unreferenced_events(engine):
+    sim = Simulator(engine=engine)
+    for _ in range(50):
+        sim.call(1, int)  # handle dropped immediately -> recyclable
+        sim.run()
+    assert len(sim._free) >= 1
+    before = len(sim._free)
+    sim.call(1, int)
+    assert len(sim._free) == before - 1  # scheduling reuses the pool
+
+
+def test_kept_handle_is_never_recycled():
+    sim = Simulator()
+    kept = sim.call(1, int)
+    sim.run()
+    assert kept not in sim._free  # a held reference blocks recycling
+    kept.cancel()  # stale handle stays inert (event already fired)
+    sim.call(1, int)
+    sim.run()
+    assert sim.events_fired == 2
+
+
+# ----------------------------------------------------------------------
+# whole-machine cross-engine identity
+# ----------------------------------------------------------------------
+def test_machine_cycle_identical_across_engines(monkeypatch):
+    from repro.apps.synthetic import SharedReaders
+    from repro.system.machine import Machine
+    from repro.system.presets import switch_cache_config
+
+    results = {}
+    for engine in ENGINES:
+        monkeypatch.setenv(ENGINE_ENV, engine)
+        machine = Machine(switch_cache_config(4), sanitize=False)
+        stats = machine.run(SharedReaders(nbytes=2048, rounds=2))
+        results[engine] = (
+            stats.exec_time,
+            machine.sim.events_fired,
+            machine.sim.now,
+        )
+    assert results["heap"] == results["calendar"]

@@ -301,6 +301,25 @@ class TestDeterminismLint:
         assert len(slots) == 1
         assert "Hot" in slots[0].message
 
+    def test_lambda_scheduling_flagged(self, tmp_path):
+        findings = self._lint_snippet(
+            tmp_path, "node/pump.py",
+            "def f(sim, msg):\n"
+            "    sim.schedule(4, lambda: deliver(msg))\n"
+            "    sim.call_at(sim.now + 2, lambda: deliver(msg))\n",
+        )
+        assert [f.rule for f in findings].count("L") == 2
+
+    def test_closure_free_scheduling_allowed(self, tmp_path):
+        findings = self._lint_snippet(
+            tmp_path, "node/pump.py",
+            "def f(sim, deliver, msg):\n"
+            "    sim.call(4, deliver, msg)\n"
+            "    sim.call_at(sim.now + 2, deliver, msg)\n"
+            "    xs = sorted([3, 1], key=lambda x: -x)\n",
+        )
+        assert not any(f.rule == "L" for f in findings)
+
     def test_cli_exit_status(self, capsys):
         assert lint_determinism.main([]) == 0
         out = capsys.readouterr().out
