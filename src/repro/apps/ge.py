@@ -36,22 +36,31 @@ class GaussianElimination(Application):
         n, procs = self.n, machine.num_procs
         barriers = BarrierSequencer(self.name)
         my_rows = set(cyclic_partition(n, proc_id, procs))
+        # Matrix.addr inlined: this generator resumes once per simulated
+        # op, so the per-element address arithmetic runs on locals
+        row_base = self.a._row_base
+        eb = self.a.elem_bytes
+        work = self.work_per_elem
         for k in range(n - 1):
+            pivot_base = row_base[k]
             # the pivot owner normalizes row k
             if k in my_rows:
                 for j in range(k, n):
-                    yield ("r", self.a.addr(k, j))
-                    yield ("w", self.a.addr(k, j))
-                yield ("work", self.work_per_elem * (n - k))
+                    a = pivot_base + j * eb
+                    yield ("r", a)
+                    yield ("w", a)
+                yield ("work", work * (n - k))
             yield ("barrier", barriers.next())
             # everyone eliminates column k from their rows below k
             for i in range(k + 1, n):
                 if i not in my_rows:
                     continue
-                yield ("r", self.a.addr(i, k))
+                base = row_base[i]
+                yield ("r", base + k * eb)
                 for j in range(k, n):
-                    yield ("r", self.a.addr(k, j))  # pivot row: read by all
-                    yield ("r", self.a.addr(i, j))
-                    yield ("w", self.a.addr(i, j))
-                yield ("work", self.work_per_elem * (n - k))
+                    yield ("r", pivot_base + j * eb)  # pivot row: read by all
+                    a = base + j * eb
+                    yield ("r", a)
+                    yield ("w", a)
+                yield ("work", work * (n - k))
         yield ("barrier", barriers.next())

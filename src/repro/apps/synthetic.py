@@ -42,13 +42,17 @@ class SharedReaders(Application):
         barriers = BarrierSequencer(self.name)
         n_words = self.nbytes // 8
         step = self.stride // 8 or 1
+        # Vector.addr inlined: the generator resumes once per simulated
+        # op, so the address arithmetic runs on locals
+        base = self.data.base
+        eb = self.data.elem_bytes
         if proc_id == 0:
             for i in range(0, n_words, step):
-                yield ("w", self.data.addr(i))
+                yield ("w", base + i * eb)
         yield ("barrier", barriers.next())
         for _round in range(self.rounds):
             for i in range(0, n_words, step):
-                yield ("r", self.data.addr(i))
+                yield ("r", base + i * eb)
             yield ("barrier", barriers.next())
 
 

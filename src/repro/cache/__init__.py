@@ -1,17 +1,30 @@
 """SRAM cache substrate: arrays, MSI states, hierarchy, write buffer."""
 
-from .array import CacheArray, CacheLine
+from .array import (
+    CacheArray,
+    CacheArrayBase,
+    CacheArrayObj,
+    CacheLine,
+    LineView,
+    make_cache_array,
+)
 from .hierarchy import CacheHierarchy, ReadResult, WriteResult
-from .states import DirState, LineState
+from .states import STATE_ENV, DirState, LineState, state_model
 from .writebuffer import WriteBuffer
 
 __all__ = [
     "CacheArray",
+    "CacheArrayBase",
+    "CacheArrayObj",
     "CacheLine",
+    "LineView",
+    "make_cache_array",
     "CacheHierarchy",
     "ReadResult",
     "WriteResult",
     "DirState",
     "LineState",
+    "STATE_ENV",
+    "state_model",
     "WriteBuffer",
 ]

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from .array import CacheArray
-from .states import LineState
+from .array import CacheArrayBase, make_cache_array
+from .states import CODE_EXCLUSIVE, LineState
 
 
 class ReadResult:
@@ -45,6 +45,13 @@ class WriteResult:
         self.action = action
 
 
+#: interned probe outcomes — write_probe is on the store hot path and the
+#: three results are immutable, so one instance each suffices
+_WR_HIT = WriteResult("hit")
+_WR_UPGRADE = WriteResult("upgrade")
+_WR_MISS = WriteResult("miss")
+
+
 class CacheHierarchy:
     """L1 + inclusive write-back L2 for one processor."""
 
@@ -56,50 +63,50 @@ class CacheHierarchy:
         l1_assoc: int = 2,
         l2_assoc: int = 4,
         node_id: int = -1,
+        model: Optional[str] = None,
     ) -> None:
         self.block_size = block_size
         self.node_id = node_id
-        self.l1 = CacheArray(l1_size, block_size, l1_assoc, name=f"L1[{node_id}]")
-        self.l2 = CacheArray(l2_size, block_size, l2_assoc, name=f"L2[{node_id}]")
+        self.l1: CacheArrayBase = make_cache_array(
+            l1_size, block_size, l1_assoc, name=f"L1[{node_id}]", model=model
+        )
+        self.l2: CacheArrayBase = make_cache_array(
+            l2_size, block_size, l2_assoc, name=f"L2[{node_id}]", model=model
+        )
 
     # ------------------------------------------------------------------
     # processor-side probes
     # ------------------------------------------------------------------
     def read(self, addr: int) -> ReadResult:
         """Probe for a load.  On an L2 hit the block is refilled into L1."""
-        line = self.l1.lookup(addr)
-        if line is not None:
-            return ReadResult("l1", line.data)
-        line = self.l2.lookup(addr)
-        if line is not None:
+        data = self.l1.lookup_data(addr)
+        if data is not None:
+            return ReadResult("l1", data)
+        data = self.l2.lookup_data(addr)
+        if data is not None:
             # L1 is no-write-allocate and write-through, so refills are
             # always clean copies; an L1 victim needs no writeback.
-            self.l1.insert(addr, LineState.SHARED, line.data)
-            return ReadResult("l2", line.data)
+            self.l1.insert(addr, LineState.SHARED, data)
+            return ReadResult("l2", data)
         return ReadResult("miss", None)
 
     def write_probe(self, addr: int) -> WriteResult:
         """Probe for a store (no data change yet)."""
-        line = self.l2.lookup(addr)
-        if line is None:
-            return WriteResult("miss")
-        if line.state.writable():
-            return WriteResult("hit")
-        return WriteResult("upgrade")
+        code = self.l2.lookup_state(addr)
+        if not code:
+            return _WR_MISS
+        if code >= CODE_EXCLUSIVE:
+            return _WR_HIT
+        return _WR_UPGRADE
 
     def perform_write(self, addr: int, data: int) -> None:
         """Commit a store to an owned L2 line (and through to L1 if present).
 
         An EXCLUSIVE line is silently promoted to MODIFIED (MESI).
         """
-        line = self.l2.probe(addr)
-        if line is None or not line.state.writable():
+        if not self.l2.write_owned(addr, data):
             raise KeyError(f"perform_write without ownership of {addr:#x}")
-        line.state = LineState.MODIFIED
-        line.data = data
-        l1_line = self.l1.probe(addr)
-        if l1_line is not None:
-            l1_line.data = data
+        self.l1.set_data(addr, data)
 
     # ------------------------------------------------------------------
     # protocol-side operations
@@ -140,12 +147,15 @@ class CacheHierarchy:
 
     def downgrade(self, addr: int) -> int:
         """M/E -> S in L2 (remote read hit an owned block); returns the data."""
-        line = self.l2.probe(addr)
-        if line is None or not line.state.owned():
+        data = self.l2.downgrade_owned(addr)
+        if data is None:
             raise KeyError(f"downgrade without ownership of {addr:#x}")
-        line.state = LineState.SHARED
-        return line.data
+        return data
 
     def state_of(self, addr: int) -> LineState:
         line = self.l2.probe(addr)
         return line.state if line is not None else LineState.INVALID
+
+    def state_code(self, addr: int) -> int:
+        """L2 state as a small-int code (0 when absent) — the hot form."""
+        return self.l2.probe_state(addr)

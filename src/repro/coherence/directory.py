@@ -6,40 +6,131 @@ single owner when the block is modified.  The directory also holds the
 memory image itself; block payloads are version numbers (see
 :mod:`repro.cache.array`), incremented by each completed write, which the
 test suite uses to verify coherence end to end.
+
+Sharer encoding (DESIGN.md §10)
+-------------------------------
+The default :class:`DirEntry` stores the full-map vector literally as an
+int bitmask (``sharers_mask``, bit *n* = node *n* shares) with a cached
+popcount (``sharer_count``), so the per-transition hot path is bit
+arithmetic with no set objects and no hashing.  Fan-out sites use
+``sorted_sharers()``, which decodes the mask in ascending node order —
+the same order ``sorted(set)`` produced — so message timing is
+bit-identical to the old model.  :class:`DirEntryObj` keeps the original
+``Set[int]`` storage and backs ``REPRO_STATE=obj`` plus the differential
+fuzzer.  ``entry.sharers`` stays available on both as a decoded-set view
+for tests and cold invariant checks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from ..cache.states import DirState
+from ..cache.states import DirState, state_model
 from ..errors import ProtocolError
 
 
 class DirEntry:
-    """Directory state for one block."""
+    """Directory state for one block (coded: sharers as an int bitmask)."""
 
-    __slots__ = ("state", "sharers", "owner", "version")
+    __slots__ = ("state", "sharers_mask", "sharer_count", "owner", "version")
 
     def __init__(self) -> None:
         self.state = DirState.UNOWNED
-        self.sharers: Set[int] = set()
+        self.sharers_mask = 0
+        self.sharer_count = 0  # cached popcount of sharers_mask
         self.owner: Optional[int] = None
         self.version = 0  # current memory image (stale while MODIFIED)
 
+    # -- sharer-set operations (the coded hot path) ---------------------
+    def has_sharer(self, node: int) -> bool:
+        return (self.sharers_mask >> node) & 1 == 1
+
+    def num_sharers(self) -> int:
+        return self.sharer_count
+
+    def add_sharer_node(self, node: int) -> None:
+        mask = self.sharers_mask
+        bit = 1 << node
+        if not mask & bit:
+            self.sharers_mask = mask | bit
+            self.sharer_count += 1
+
+    def clear_sharer_nodes(self) -> None:
+        self.sharers_mask = 0
+        self.sharer_count = 0
+
+    def sorted_sharers(self) -> List[int]:
+        """Sharer node ids in ascending order (the fan-out order)."""
+        out = []
+        mask = self.sharers_mask
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
+    @property
+    def sharers(self) -> Set[int]:
+        """Decoded sharer set (tests / cold invariant checks only)."""
+        return set(self.sorted_sharers())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<DirEntry {self.state.value} sharers={sorted(self.sharers)} "
+            f"<DirEntry {self.state.value} sharers={self.sorted_sharers()} "
             f"owner={self.owner} v{self.version}>"
         )
 
 
-class Directory:
-    """All directory entries homed at one node."""
+class DirEntryObj(DirEntry):
+    """The original ``Set[int]`` entry (``REPRO_STATE=obj`` reference).
 
-    def __init__(self, node_id: int, block_size: int) -> None:
+    The private ``_sharers`` set is the storage; the mask slots of the
+    base class go unused.  Kept observationally identical to the coded
+    entry — the lockstep fuzzer in ``tests/test_state_differential.py``
+    holds the two in sync op by op.
+    """
+
+    __slots__ = ("_sharers",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sharers: Set[int] = set()
+
+    def has_sharer(self, node: int) -> bool:
+        return node in self._sharers
+
+    def num_sharers(self) -> int:
+        return len(self._sharers)
+
+    def add_sharer_node(self, node: int) -> None:
+        self._sharers.add(node)
+
+    def clear_sharer_nodes(self) -> None:
+        self._sharers.clear()
+
+    def sorted_sharers(self) -> List[int]:
+        return sorted(self._sharers)
+
+    @property
+    def sharers(self) -> Set[int]:
+        return self._sharers
+
+
+class Directory:
+    """All directory entries homed at one node.
+
+    ``model`` selects the entry encoding (``coded``/``obj``); the default
+    follows the machine-wide ``REPRO_STATE`` selection.
+    """
+
+    def __init__(
+        self, node_id: int, block_size: int, model: Optional[str] = None
+    ) -> None:
         self.node_id = node_id
         self.block_size = block_size
+        self._entry_cls = (
+            DirEntryObj if (model or state_model()) == "obj" else DirEntry
+        )
         self._entries: Dict[int, DirEntry] = {}
 
     def _block(self, addr: int) -> int:
@@ -49,7 +140,7 @@ class Directory:
         block = self._block(addr)
         entry = self._entries.get(block)
         if entry is None:
-            entry = DirEntry()
+            entry = self._entry_cls()
             self._entries[block] = entry
         return entry
 
@@ -67,12 +158,12 @@ class Directory:
                 node=node, addr=addr, state=entry.state,
             )
         entry.state = DirState.SHARED
-        entry.sharers.add(node)
+        entry.add_sharer_node(node)
 
     def set_owner(self, addr: int, node: int, version: Optional[int] = None) -> None:
         entry = self.entry(addr)
         entry.state = DirState.MODIFIED
-        entry.sharers = set()
+        entry.clear_sharer_nodes()
         entry.owner = node
         if version is not None:
             entry.version = version
@@ -91,8 +182,8 @@ class Directory:
 
     def clear_sharers(self, addr: int) -> Set[int]:
         entry = self.entry(addr)
-        sharers = entry.sharers
-        entry.sharers = set()
+        sharers = set(entry.sorted_sharers())
+        entry.clear_sharer_nodes()
         if entry.state is DirState.SHARED:
             entry.state = DirState.UNOWNED
         return sharers

@@ -40,10 +40,9 @@ from typing import Callable, Deque, Dict, Optional
 from ..cache.states import DirState
 from ..errors import ProtocolError
 from ..memory.dram import MemoryModule
-from ..network.message import Message, MsgKind
+from ..network.message import Message, MessagePool, MsgKind
 from ..sim.engine import Simulator
 from .directory import Directory
-from .messages import make_message
 
 #: directory-access overhead for transactions that do not touch memory
 DIR_CYCLES = 4
@@ -92,6 +91,7 @@ class HomeController:
         send: Callable[[Message, Optional[int]], None],
         block_size: int,
         protocol: str = "msi",
+        pool: Optional[MessagePool] = None,
     ) -> None:
         self.sim = sim
         self._tracer = sim.tracer  # installed before construction
@@ -101,6 +101,9 @@ class HomeController:
         self._send = send
         self.block_size = block_size
         self.protocol = protocol
+        # shared machine-wide pool (id stream + worm free list); private
+        # when the controller is built standalone in unit tests
+        self._pool = pool if pool is not None else MessagePool(block_size)
         self._active: Dict[int, HomeTxn] = {}
         self._pending: Dict[int, Deque[Message]] = {}
         self.trace_track = f"home{node_id}"
@@ -230,10 +233,11 @@ class HomeController:
                 self.sim.now,
                 {
                     "addr": txn.block, "requester": requester,
-                    "state": entry.state.name, "invs": len(entry.sharers),
+                    "state": entry.state.name, "invs": entry.num_sharers(),
                 },
             )
-        if upgrade and entry.state is DirState.SHARED and requester in entry.sharers:
+        if (upgrade and entry.state is DirState.SHARED
+                and entry.has_sharer(requester)):
             # true upgrade: no data needed
             txn.reply_kind = MsgKind.UPGR_ACK
         else:
@@ -248,17 +252,16 @@ class HomeController:
             return
         # invalidate every registered sharer; the requester (if registered)
         # gets a purge-only invalidation that cleans its path's switch
-        # caches.  Sorted: fan-out order must not depend on set hash order
-        # or simulated timing would vary across Python builds.
-        targets = sorted(entry.sharers)
+        # caches.  Ascending node order: fan-out order must not depend on
+        # set hash order or simulated timing would vary across builds.
+        targets = entry.sorted_sharers()
         txn.acks_needed = len(targets)
         for sharer in targets:
-            inv = make_message(
+            inv = self._pool.make(
                 MsgKind.INV,
                 src=self.node_id,
                 dst=sharer,
                 addr=txn.block,
-                block_size=self.block_size,
                 payload={"purge_only": sharer == requester},
             )
             self._send(inv, None)
@@ -284,12 +287,11 @@ class HomeController:
             self.upgrades_served += 1
             self.directory.clear_sharers(txn.block)
             self.directory.set_owner(txn.block, txn.requester)
-            reply = make_message(
+            reply = self._pool.make(
                 MsgKind.UPGR_ACK,
                 src=self.node_id,
                 dst=txn.requester,
                 addr=txn.block,
-                block_size=self.block_size,
                 payload={"proc": txn.msg.payload.get("proc")},
                 transaction=txn.msg.transaction,
             )
@@ -333,12 +335,11 @@ class HomeController:
             # the time this update arrives, and the requester's copy is
             # stale all the same.
             self.corrective_invs += 1
-            inv = make_message(
+            inv = self._pool.make(
                 MsgKind.INV,
                 src=self.node_id,
                 dst=requester,
                 addr=txn.block,
-                block_size=self.block_size,
                 payload={"no_ack": True},
             )
             self._send(inv, None)
@@ -451,12 +452,11 @@ class HomeController:
     def _reply_data(
         self, txn: HomeTxn, kind: MsgKind, version: int, served_by: str
     ) -> None:
-        reply = make_message(
+        reply = self._pool.make(
             kind,
             src=self.node_id,
             dst=txn.requester,
             addr=txn.block,
-            block_size=self.block_size,
             data=version,
             payload={
                 "served_by": served_by,
@@ -468,11 +468,5 @@ class HomeController:
         self._send(reply, None)
 
     def _send_ctl(self, kind: MsgKind, dst: int, txn: HomeTxn) -> None:
-        msg = make_message(
-            kind,
-            src=self.node_id,
-            dst=dst,
-            addr=txn.block,
-            block_size=self.block_size,
-        )
+        msg = self._pool.make(kind, src=self.node_id, dst=dst, addr=txn.block)
         self._send(msg, None)

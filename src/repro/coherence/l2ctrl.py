@@ -19,16 +19,16 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from ..cache.hierarchy import CacheHierarchy
-from ..cache.states import LineState
+from ..cache.states import CODE_EXCLUSIVE, CODE_SHARED, LineState
 from ..errors import ProtocolError
 from ..memory.netcache import NetworkCache
 from ..memory.nic import NetworkInterface
 from ..sim.engine import Simulator
-from .messages import Transaction, make_message
+from .messages import Transaction
 
 
 # imported lazily by name to avoid a hard import cycle in type checkers
-from ..network.message import Message, MsgKind
+from ..network.message import Message, MessagePool, MsgKind
 
 
 class NodeController:
@@ -45,6 +45,7 @@ class NodeController:
         netcache: Optional[NetworkCache] = None,
         proc_id: Optional[int] = None,
         probe_netcache: bool = True,
+        pool: Optional[MessagePool] = None,
     ) -> None:
         self.sim = sim
         self._tracer = sim.tracer  # installed before construction
@@ -53,6 +54,9 @@ class NodeController:
         self.ni = ni
         self.home_of = home_of
         self.block_size = block_size
+        # the machine shares one pool (one id stream, one worm free list);
+        # standalone controllers in unit tests get a private pool
+        self._pool = pool if pool is not None else MessagePool(block_size)
         self.netcache = netcache
         self.proc_id = proc_id
         self.probe_netcache = probe_netcache
@@ -106,16 +110,16 @@ class NodeController:
                 return txn
             # miss: the probe's latency is paid before the request departs
             self._mshr[block] = txn
-            msg = make_message(
-                MsgKind.READ, self.node_id, home, block, self.block_size,
+            msg = self._pool.make(
+                MsgKind.READ, self.node_id, home, block,
                 payload=self._req_payload(), transaction=txn,
             )
             txn.req_msg = msg
             self.ni.send(msg, at=done)
             return txn
         self._mshr[block] = txn
-        msg = make_message(
-            MsgKind.READ, self.node_id, home, block, self.block_size,
+        msg = self._pool.make(
+            MsgKind.READ, self.node_id, home, block,
             payload=self._req_payload(), transaction=txn,
         )
         txn.req_msg = msg
@@ -133,8 +137,7 @@ class NodeController:
         """Write-buffer drain needs ownership: upgrade or read-exclusive."""
         block = self._block(addr)
         home = self.home_of(block)
-        state = self.hierarchy.state_of(block)
-        if state is LineState.SHARED:
+        if self.hierarchy.state_code(block) == CODE_SHARED:
             kind, txn_kind = MsgKind.UPGRADE, "upgrade"
             self.upgrades_issued += 1
         else:
@@ -150,8 +153,8 @@ class NodeController:
                 state=self.hierarchy.state_of(block),
             )
         self._mshr[block] = txn
-        msg = make_message(
-            kind, self.node_id, home, block, self.block_size,
+        msg = self._pool.make(
+            kind, self.node_id, home, block,
             payload=self._req_payload(), transaction=txn,
         )
         txn.req_msg = msg
@@ -269,30 +272,26 @@ class NodeController:
             if pending is not None and pending.kind == "read":
                 pending.pending_inval = True
         if not msg.payload.get("no_ack"):
-            ack = make_message(
-                MsgKind.INV_ACK, self.node_id, msg.src, block, self.block_size
-            )
+            ack = self._pool.make(MsgKind.INV_ACK, self.node_id, msg.src, block)
             self.ni.send(ack)
 
     def _on_recall(self, msg: Message) -> None:
         block = self._block(msg.addr)
-        state = self.hierarchy.state_of(block)
-        if state.owned():
+        if self.hierarchy.state_code(block) >= CODE_EXCLUSIVE:
             if msg.kind is MsgKind.RECALL:
                 data = self.hierarchy.downgrade(block)
             else:
                 _state, data = self.hierarchy.invalidate(block)
                 if self.netcache is not None:
                     self.netcache.invalidate(block)
-            reply = make_message(
-                MsgKind.RECALL_REPLY, self.node_id, msg.src, block,
-                self.block_size, data=data,
+            reply = self._pool.make(
+                MsgKind.RECALL_REPLY, self.node_id, msg.src, block, data=data,
             )
         else:
             # eviction raced the recall; the writeback is already in flight
-            reply = make_message(
+            reply = self._pool.make(
                 MsgKind.RECALL_REPLY, self.node_id, msg.src, block,
-                self.block_size, payload={"no_data": True},
+                payload={"no_data": True},
             )
         self.ni.send(reply)
 
@@ -306,9 +305,9 @@ class NodeController:
         victim_addr, victim_data = victim
         home = self.home_of(victim_addr)
         self.writebacks_sent += 1
-        wb = make_message(
+        wb = self._pool.make(
             MsgKind.WRITEBACK, self.node_id, home, victim_addr,
-            self.block_size, data=victim_data,
+            data=victim_data,
         )
         self.ni.send(wb)
 

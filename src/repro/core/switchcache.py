@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from ..cache.array import CacheArray
+from ..cache.array import make_cache_array
 from ..cache.states import LineState
 from ..errors import ConfigError
 from ..sim.engine import Simulator
@@ -84,7 +84,7 @@ class SwitchCacheSRAM:
     def __init__(self, sim: Simulator, geometry: SwitchCacheGeometry, name: str = "") -> None:
         self.sim = sim
         self.geo = geometry
-        self.array = CacheArray(
+        self.array = make_cache_array(
             geometry.size, geometry.block_size, geometry.assoc, name=name,
             replacement=geometry.replacement,
         )
@@ -121,13 +121,13 @@ class SwitchCacheSRAM:
         """
         tag_cycles = self._tag_cycles
         tag_done = self.tag_port.reserve(tag_cycles) + tag_cycles
-        line = self.array.lookup(addr)
-        if line is None:
+        data = self.array.lookup_data(addr)
+        if data is None:
             return None, tag_done
         port = self.data_ports[(addr // self._block_size) & self._bank_mask]
         data_cycles = self._data_cycles
         data_start = port.reserve(data_cycles, earliest=tag_done)
-        return line.data, data_start + data_cycles
+        return data, data_start + data_cycles
 
     def write(self, addr: int, data: int) -> Tuple[int, Optional[int]]:
         """Deposit a block (tag update + full-block data write).

@@ -13,6 +13,13 @@ plus the engine-independent ``cycles`` (simulated execution time) and
 ``events`` (events fired), which the harness asserts are **identical**
 across engines: a bench run doubles as an end-to-end differential test.
 
+Since schema 2 each workload also carries a ``kernels`` A/B section
+measuring the **state kernels** on the default engine: the integer-coded
+hot state (bitmask directories, struct-of-arrays cache sets, pooled
+worms — DESIGN.md §10) against the ``REPRO_STATE=obj`` object reference
+models.  Cycles and events must again be identical — the coded kernels
+change how state is stored, never what the machine does.
+
 The result is written to ``BENCH_engine.json`` at the repo root, seeding
 the perf trajectory that future optimisation PRs extend.
 
@@ -22,7 +29,8 @@ so the check only uses portable quantities:
 
 * ``cycles``/``events`` must match the baseline exactly (cross-commit
   determinism), and
-* the calendar-vs-heap ``speedup`` ratio — both engines measured on the
+* the calendar-vs-heap ``speedup`` and the coded-vs-obj
+  ``kernel_speedup`` ratios — both sides of each ratio measured on the
   *same* host, so hardware cancels out — must not regress by more than
   the threshold (default 25%).
 
@@ -39,13 +47,16 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..apps.synthetic import SharedReaders
+from ..cache.states import STATE_ENV
 from ..sim.engine import ENGINE_ENV
 from ..system.config import SystemConfig
 from ..system.machine import Machine
 from .common import make_app
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 ENGINES = ("heap", "calendar")
+#: state-kernel A/B order: reference first, so ``coded`` is the speedup
+STATE_MODELS = ("obj", "coded")
 DEFAULT_PATH = "BENCH_engine.json"
 DEFAULT_REPEAT = 2
 DEFAULT_THRESHOLD = 0.25
@@ -71,11 +82,17 @@ def _workloads() -> List[Workload]:
 
 
 def _run_once(
-    config: SystemConfig, app_factory: Callable[[], Any], engine: str
+    config: SystemConfig,
+    app_factory: Callable[[], Any],
+    engine: str,
+    state: str = "coded",
 ) -> Dict[str, Any]:
-    """One fresh, cache-free, sanitizer-free simulation on ``engine``."""
+    """One fresh, cache-free, sanitizer-free simulation on ``engine``
+    with the ``state`` kernel model (coded by default)."""
     previous = os.environ.get(ENGINE_ENV)
+    previous_state = os.environ.get(STATE_ENV)
     os.environ[ENGINE_ENV] = engine
+    os.environ[STATE_ENV] = state
     try:
         machine = Machine(config, sanitize=False)
         app = app_factory()
@@ -87,6 +104,10 @@ def _run_once(
             os.environ.pop(ENGINE_ENV, None)
         else:
             os.environ[ENGINE_ENV] = previous
+        if previous_state is None:
+            os.environ.pop(STATE_ENV, None)
+        else:
+            os.environ[STATE_ENV] = previous_state
     return {
         "wall_s": wall,
         "cycles": stats.exec_time,
@@ -95,17 +116,29 @@ def _run_once(
     }
 
 
+def _geomean(values: List[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values)) if values else 1.0
+
+
 def run_bench(repeat: int = DEFAULT_REPEAT) -> Dict[str, Any]:
     """Run the pinned workload matrix; returns the BENCH payload."""
     workloads: Dict[str, Any] = {}
     speedups: List[float] = []
+    kernel_speedups: List[float] = []
     for name, config_factory, app_factory in _workloads():
         config = config_factory()
         entry: Dict[str, Any] = {}
         reference: Optional[Dict[str, Any]] = None
-        for engine in ENGINES:
+
+        def measure(engine: str, state: str) -> Dict[str, Any]:
+            """Best-of-repeat on one (engine, state); checks identity."""
+            nonlocal reference
             runs = [
-                _run_once(config, app_factory, engine) for _ in range(repeat)
+                _run_once(config, app_factory, engine, state)
+                for _ in range(repeat)
             ]
             best = min(runs, key=lambda r: float(r["wall_s"]))
             for other in runs:
@@ -113,7 +146,8 @@ def run_bench(repeat: int = DEFAULT_REPEAT) -> Dict[str, Any]:
                     best["cycles"], best["events"]
                 ):
                     raise AssertionError(
-                        f"{name}: non-deterministic repeat on {engine}"
+                        f"{name}: non-deterministic repeat on "
+                        f"{engine}/{state}"
                     )
             if reference is None:
                 reference = best
@@ -123,34 +157,48 @@ def run_bench(repeat: int = DEFAULT_REPEAT) -> Dict[str, Any]:
                 reference["cycles"], reference["events"]
             ):
                 raise AssertionError(
-                    f"{name}: engines disagree — {engine} simulated "
+                    f"{name}: {engine}/{state} disagrees — simulated "
                     f"{best['cycles']} cycles / {best['events']} events, "
                     f"expected {reference['cycles']} / {reference['events']}"
                 )
             wall = float(best["wall_s"])
-            entry[engine] = {
+            return {
                 "wall_s": round(wall, 4),
                 "events_per_s": round(best["events"] / wall) if wall else 0,
                 "peak_pending": best["peak_pending"],
             }
+
+        for engine in ENGINES:
+            entry[engine] = measure(engine, "coded")
         speedup = (
             entry["calendar"]["events_per_s"] / entry["heap"]["events_per_s"]
             if entry["heap"]["events_per_s"] else 0.0
         )
         entry["speedup"] = round(speedup, 3)
         speedups.append(speedup)
+        # state-kernel A/B on the default engine: obj reference vs the
+        # integer-coded kernels (same cycles/events enforced above)
+        kernels = {
+            state: measure("calendar", state) for state in STATE_MODELS
+        }
+        for kernel in kernels.values():
+            kernel.pop("peak_pending", None)  # engine property, not state
+        entry["kernels"] = kernels
+        kernel_speedup = (
+            kernels["coded"]["events_per_s"] / kernels["obj"]["events_per_s"]
+            if kernels["obj"]["events_per_s"] else 0.0
+        )
+        entry["kernel_speedup"] = round(kernel_speedup, 3)
+        kernel_speedups.append(kernel_speedup)
         workloads[name] = entry
-    geomean = 1.0
-    for s in speedups:
-        geomean *= s
-    if speedups:
-        geomean = geomean ** (1.0 / len(speedups))
     return {
         "schema": SCHEMA_VERSION,
         "engines": list(ENGINES),
+        "state_models": list(STATE_MODELS),
         "repeat": repeat,
         "workloads": workloads,
-        "geomean_speedup": round(geomean, 3),
+        "geomean_speedup": round(_geomean(speedups), 3),
+        "geomean_kernel_speedup": round(_geomean(kernel_speedups), 3),
     }
 
 
@@ -183,6 +231,16 @@ def check_against(
                 f"{entry['speedup']:.2f}x vs baseline "
                 f"{base['speedup']:.2f}x (floor {floor:.2f}x)"
             )
+        # kernel ratio gate (schema-1 baselines predate the kernels A/B)
+        base_kernel = base.get("kernel_speedup")
+        if base_kernel is not None and "kernel_speedup" in entry:
+            kernel_floor = base_kernel * (1.0 - threshold)
+            if entry["kernel_speedup"] < kernel_floor:
+                problems.append(
+                    f"{name}: coded-vs-obj kernel speedup regressed — "
+                    f"{entry['kernel_speedup']:.2f}x vs baseline "
+                    f"{base_kernel:.2f}x (floor {kernel_floor:.2f}x)"
+                )
     for name in base_workloads:
         if name not in current["workloads"]:
             problems.append(f"{name}: in the baseline but no longer benched")
@@ -204,6 +262,25 @@ def format_report(payload: Dict[str, Any]) -> str:
             f"{entry['calendar']['peak_pending']:>7d}"
         )
     lines.append(f"geomean speedup: {payload['geomean_speedup']:.2f}x")
+    if any("kernels" in e for e in payload["workloads"].values()):
+        lines.append("")
+        lines.append(
+            f"{'state kernels':20s} {'obj ev/s':>10s} {'coded ev/s':>10s} "
+            f"{'speedup':>8s}"
+        )
+        for name, entry in payload["workloads"].items():
+            kernels = entry.get("kernels")
+            if kernels is None:
+                continue
+            lines.append(
+                f"{name:20s} {kernels['obj']['events_per_s']:>10d} "
+                f"{kernels['coded']['events_per_s']:>10d} "
+                f"{entry['kernel_speedup']:>7.2f}x"
+            )
+        lines.append(
+            f"geomean kernel speedup: "
+            f"{payload['geomean_kernel_speedup']:.2f}x"
+        )
     return "\n".join(lines)
 
 

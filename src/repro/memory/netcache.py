@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from ..cache.array import CacheArray
+from ..cache.array import make_cache_array
 from ..cache.states import LineState
 from ..sim.engine import Simulator
 from ..sim.resource import Timeline
@@ -40,7 +40,7 @@ class NetworkCache:
         self.sim = sim
         self.node_id = node_id
         self.access_cycles = access_cycles
-        self.array = CacheArray(size, block_size, assoc, name=f"nc{node_id}")
+        self.array = make_cache_array(size, block_size, assoc, name=f"nc{node_id}")
         self.port = Timeline(sim, f"nc{node_id}.port")
         # statistics
         self.hits = 0
@@ -52,12 +52,12 @@ class NetworkCache:
         """Probe for a remote read.  Returns (data_or_None, done_time)."""
         start = self.port.reserve(self.access_cycles)
         done = start + self.access_cycles
-        line = self.array.lookup(addr)
-        if line is None:
+        data = self.array.lookup_data(addr)
+        if data is None:
             self.misses += 1
             return None, done
         self.hits += 1
-        return line.data, done
+        return data, done
 
     def fill(self, addr: int, data: int) -> None:
         """Capture a clean shared remote block from an incoming reply."""

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from ..errors import NetworkError
 from ..sim.engine import Simulator
 from .link import Link
-from .message import Message, MsgKind
+from .message import Message, MessagePool, MsgKind
 from .switch import Switch
 from .topology import BminTopology, SwitchId
 
@@ -89,6 +89,7 @@ class Fabric:
     __slots__ = (
         "sim", "topo", "switch_delay", "cycles_per_flit", "stats",
         "switches", "_inject_links", "_handlers", "_tracer", "_route_objs",
+        "_route_lists", "_reply_routes", "pool",
     )
 
     def __init__(
@@ -97,6 +98,7 @@ class Fabric:
         topology: BminTopology,
         switch_delay: int = 4,
         cycles_per_flit: int = 4,
+        pool: Optional[MessagePool] = None,
     ) -> None:
         self.sim = sim
         # captured once: Machine installs the tracer on the simulator
@@ -105,11 +107,23 @@ class Fabric:
         self.topo = topology
         self.switch_delay = switch_delay
         self.cycles_per_flit = cycles_per_flit
+        # the machine shares one pool across fabric + controllers so the
+        # whole machine draws one message-id stream; standalone fabrics
+        # (unit tests, examples) get a private pool
+        self.pool = pool if pool is not None else MessagePool()
         self.stats = FabricStats()
         self.switches: Dict[SwitchId, Switch] = {}
         self._inject_links: Dict[int, Link] = {}
         self._handlers: Dict[int, DeliverFn] = {}
         self._route_objs: Dict[Tuple[int, int], Tuple[Hop, ...]] = {}
+        self._route_lists: Dict[Tuple[int, int], List[SwitchId]] = {}
+        # switch-served replies retrace the request's traversed prefix;
+        # the (requester, prefix) pairs recur, so the reversed route and
+        # its resolution are cached like the forward tables above
+        self._reply_routes: Dict[
+            Tuple[int, Tuple[SwitchId, ...]],
+            Tuple[List[SwitchId], Tuple[Hop, ...]],
+        ] = {}
         self._build()
 
     # ------------------------------------------------------------------
@@ -139,9 +153,9 @@ class Fabric:
         for src in range(self.topo.num_nodes):
             for dst in range(self.topo.num_nodes):
                 if src != dst:
-                    self._route_objs[(src, dst)] = self._resolve(
-                        self.topo.path(src, dst), dst
-                    )
+                    route = self.topo.path(src, dst)
+                    self._route_lists[(src, dst)] = route
+                    self._route_objs[(src, dst)] = self._resolve(route, dst)
 
     def _resolve(
         self, route: List[SwitchId], dst: int
@@ -173,7 +187,9 @@ class Fabric:
             raise NetworkError("local messages must not enter the fabric")
         if msg.created_at < 0:
             msg.created_at = self.sim.now
-        msg.route = self.topo.path(msg.src, msg.dst)
+        # the cached route list is shared across worms (read-only by
+        # convention); resolving per-inject was a measurable allocation
+        msg.route = self._route_lists[(msg.src, msg.dst)]
         msg.hops = self._route_objs[(msg.src, msg.dst)]
         link = self._inject_links[msg.src]
         grant, _tail = link.reserve(msg.flits, earliest=self.sim.now)
@@ -187,14 +203,18 @@ class Fabric:
     # per-hop processing
     # ------------------------------------------------------------------
     def _arrive(self, msg: Message, hop: int) -> None:
-        # hot path: one call per worm per switch; route pre-resolved
+        # hot path: one call per worm per switch; route pre-resolved.
+        # Every switch and link shares the fabric-wide switch_delay and
+        # cycles_per_flit (see _build), so those load from self — one
+        # bound attribute each — instead of per-switch/per-link fields.
         hops = msg.hops
         switch, link = hops[hop]
+        sim = self.sim
         msg.trace.append(switch.id)
         tracer = self._tracer
         if tracer is not None:
             tracer.instant(
-                switch.trace_track, "hop", self.sim.now,
+                switch.trace_track, "hop", sim.now,
                 {"msg": msg.id, "kind": msg.kind.value, "addr": msg.addr},
             )
         engine = switch.cache_engine
@@ -219,9 +239,10 @@ class Fabric:
         # inject, so SanitizedFabric's _forward ledger hook — needed only
         # for fabricated switch replies — is not required on this path.
         flits = msg.flits
-        duration = flits * link.cycles_per_flit
+        cycles_per_flit = self.cycles_per_flit
+        duration = flits * cycles_per_flit
         timeline = link.timeline
-        request_at = self.sim.now + switch.switch_delay
+        request_at = sim.now + self.switch_delay
         grant = timeline._free_at
         if grant < request_at:
             grant = request_at
@@ -235,10 +256,10 @@ class Fabric:
         switch.flits_routed += flits
         next_hop = hop + 1
         if next_hop == len(hops):
-            self.sim.call_at(grant + duration, self._deliver, msg)
+            sim.call_at(grant + duration, self._deliver, msg)
         else:
-            self.sim.call_at(
-                grant + switch.cycles_per_flit, self._arrive, msg, next_hop
+            sim.call_at(
+                grant + cycles_per_flit, self._arrive, msg, next_hop
             )
 
     def _forward(self, msg: Message, hop: int, header_at: int) -> None:
@@ -273,6 +294,11 @@ class Fabric:
         if handler is None:
             raise NetworkError(f"no NI handler attached for node {msg.dst}")
         handler(msg)
+        # worm recycling: after the handler returns, a message nothing
+        # retained (acks, invalidations, writebacks) goes back to the
+        # pool; the refcount guard in release vetoes anything still held
+        # by a transaction, a home slot, or the sanitizer
+        self.pool.release(msg)
 
     def _trace_delivery(self, msg: Message, tracer: Tracer) -> None:
         """Record the delivered worm's leg span and its flow linkage."""
@@ -330,8 +356,8 @@ class Fabric:
             )
             if txn is not None and msg.kind in _FLOW_REQUESTS:
                 tracer.flow_start(track, "txn", txn.id, start)
-        reply = Message(
-            kind=MsgKind.DATA_S,
+        reply = self.pool.make(
+            MsgKind.DATA_S,
             src=msg.dst,  # protocol-wise the reply stands in for the home's
             dst=msg.src,
             addr=msg.addr,
@@ -348,8 +374,15 @@ class Fabric:
         reply.created_at = self.sim.now
         reply.injected_at = ready_at
         # retrace the request's traversed prefix back to the requester
-        reply.route = list(reversed(msg.trace))
-        reply.hops = self._resolve(reply.route, reply.dst)
+        # (cached: the route list is shared across worms, read-only by
+        # convention, exactly like the forward tables)
+        key = (msg.src, tuple(msg.trace))
+        cached = self._reply_routes.get(key)
+        if cached is None:
+            route = list(reversed(msg.trace))
+            cached = (route, self._resolve(route, msg.src))
+            self._reply_routes[key] = cached
+        reply.route, reply.hops = cached
         reply.trace.append(switch.id)
         self._forward(reply, 0, header_at=ready_at)
         # the request continues to the home as a 1-flit directory update;

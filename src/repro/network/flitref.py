@@ -34,7 +34,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from ..errors import NetworkError
 from ..sim.engine import Simulator
 from .fabric import FabricStats
-from .message import Message, MsgKind
+from .message import Message, MessagePool, MsgKind
 from .topology import BminTopology
 
 DeliverFn = Callable[[Message], None]
@@ -103,9 +103,14 @@ class FlitNetwork:
         vc_depth: int = 4,
         cycles_per_flit: int = 4,
         switch_delay: int = 4,
+        pool: Optional[MessagePool] = None,
     ) -> None:
         self.sim = sim
         self.topo = topology
+        # id source for switch-fabricated worms; the reference model never
+        # recycles (its _Worm wrappers outlive delivery), it only needs the
+        # machine's id stream
+        self.pool = pool if pool is not None else MessagePool()
         self.vc_count = vc_count
         self.vc_depth = vc_depth
         self.cycles_per_flit = cycles_per_flit
@@ -311,8 +316,8 @@ class FlitNetwork:
             self.stats.record_switch_hit(at[1])
             index = worm.hops.index(at)
             # reply retraces the traversed prefix back to the source
-            reply = Message(
-                kind=MsgKind.DATA_S,
+            reply = self.pool.make(
+                MsgKind.DATA_S,
                 src=msg.dst,
                 dst=msg.src,
                 addr=msg.addr,
@@ -330,8 +335,8 @@ class FlitNetwork:
             reply_hops = list(reversed(worm.hops[:index + 1]))
             self._inject_at(at, reply, reply_hops, not_before=ready_at)
             # the request continues to the home as a 1-flit dir update
-            update = Message(
-                kind=MsgKind.DIR_UPDATE,
+            update = self.pool.make(
+                MsgKind.DIR_UPDATE,
                 src=msg.src,
                 dst=msg.dst,
                 addr=msg.addr,

@@ -10,17 +10,43 @@ it enters a switch.
 
 The simulator moves whole messages between components but preserves
 flit-level *timing*: per-hop serialization is ``flits * cycles_per_flit``.
+
+Integer-coded kinds and the worm pool (DESIGN.md §10)
+-----------------------------------------------------
+Every :class:`MsgKind` member carries a small-int ``code`` (its header
+type field), and the kind predicates — ``carries_data``,
+``switch_cacheable``, ``interceptable``, ``snoops_switch_caches`` — are
+precomputed index-by-code tuples, so hot sites pay one tuple subscript
+instead of an enum property call.
+
+:class:`MessagePool` owns message identity and reuse for one fabric:
+
+* ids come from a per-pool counter, so two machines in one process
+  (differential tests, the model checker) get independent, reproducible
+  id streams;
+* delivered worms are recycled through a refcount-guarded free list that
+  mirrors the PR 4 event pool (``sim/engine.py``): a worm returns to the
+  pool only when the delivery plumbing holds the last references, so any
+  message retained by a transaction, a home-controller slot, or the
+  sanitizer's ledger simply escapes reuse.
+
+Bare ``Message(...)`` construction (tests, micro-benchmarks, the flit
+reference model's callers) still works and draws ids from a module-level
+fallback counter.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+from sys import getrefcount as _getrefcount
 from typing import Any, Dict, List, Optional, Tuple
 
 
 class MsgKind(enum.Enum):
     """Transaction/packet types carried in the header's type field."""
+
+    code: int  # small-int header type (assigned below, in member order)
 
     # processor -> home requests (forward direction)
     READ = "read"              # GETS: read a shareable copy
@@ -45,17 +71,17 @@ class MsgKind(enum.Enum):
 
     @property
     def carries_data(self) -> bool:
-        return self in _DATA_KINDS
+        return CARRIES_DATA[self.code]
 
     @property
     def switch_cacheable(self) -> bool:
         """Only clean shared data is deposited into switch caches."""
-        return self is MsgKind.DATA_S
+        return SWITCH_CACHEABLE[self.code]
 
     @property
     def interceptable(self) -> bool:
         """Requests a switch cache may serve directly."""
-        return self is MsgKind.READ
+        return INTERCEPTABLE[self.code]
 
     @property
     def snoops_switch_caches(self) -> bool:
@@ -67,8 +93,11 @@ class MsgKind(enum.Enum):
         conservative set here matches the paper: invalidation traffic
         snoops; everything else passes untouched.
         """
-        return self is MsgKind.INV
+        return SNOOPS_SWITCH_CACHES[self.code]
 
+
+for _code, _kind in enumerate(MsgKind):
+    _kind.code = _code
 
 _DATA_KINDS = frozenset(
     {
@@ -80,6 +109,13 @@ _DATA_KINDS = frozenset(
     }
 )
 
+#: index-by-code predicate tables (the hot-path form of the properties)
+CARRIES_DATA: Tuple[bool, ...] = tuple(k in _DATA_KINDS for k in MsgKind)
+SWITCH_CACHEABLE: Tuple[bool, ...] = tuple(k is MsgKind.DATA_S for k in MsgKind)
+INTERCEPTABLE: Tuple[bool, ...] = tuple(k is MsgKind.READ for k in MsgKind)
+SNOOPS_SWITCH_CACHES: Tuple[bool, ...] = tuple(k is MsgKind.INV for k in MsgKind)
+
+#: fallback id stream for messages built outside any pool
 _msg_ids = itertools.count()
 
 #: 8-byte flits as in Spider [10] and Cavallino [6].
@@ -88,7 +124,7 @@ FLIT_BYTES = 8
 
 def flits_for(kind: MsgKind, block_size: int) -> int:
     """Worm length in flits: 1 header flit (+ data flits for data replies)."""
-    if kind.carries_data:
+    if CARRIES_DATA[kind.code]:
         return 1 + block_size // FLIT_BYTES
     return 1
 
@@ -129,8 +165,9 @@ class Message:
         data: Optional[int] = None,
         payload: Optional[Dict[str, Any]] = None,
         transaction: Optional[object] = None,
+        msg_id: int = -1,
     ) -> None:
-        self.id = next(_msg_ids)
+        self.id = next(_msg_ids) if msg_id < 0 else msg_id
         self.kind = kind
         self.src = src
         self.dst = dst
@@ -153,7 +190,7 @@ class Message:
         return {
             "dst": self.dst,
             "src": self.src,
-            "type": list(MsgKind).index(self.kind),
+            "type": self.kind.code,
             "addr": self.addr,
         }
 
@@ -162,3 +199,85 @@ class Message:
             f"<Msg#{self.id} {self.kind.value} {self.src}->{self.dst} "
             f"addr={self.addr:#x} flits={self.flits}>"
         )
+
+
+#: free-list bound — enough for the in-flight ack/inv churn of a large
+#: machine without pinning memory (same sizing rationale as the event pool)
+_FREE_MAX = 512
+
+#: refcount of a worm whose only holders are the delivery plumbing when
+#: ``release`` inspects it: the scheduler's args tuple + the fabric's
+#: ``_deliver`` local + ``release``'s parameter + getrefcount's argument.
+#: Anything else still pointing at the message (a Transaction's
+#: ``req_msg``/``reply_msg``, a HomeTxn slot, the sanitizer ledger, a
+#: SanitizedFabric stack frame) raises the count and vetoes reuse.
+_RELEASE_REFS = 4
+
+
+class MessagePool:
+    """Per-fabric message identity + a refcount-guarded worm free list.
+
+    One pool serves one machine: every protocol message drawn from it gets
+    the next id in that machine's private stream, and worms the fabric has
+    fully delivered are reset and reused instead of reallocated.
+    """
+
+    __slots__ = ("block_size", "_free", "_next_id", "_data_flits")
+
+    def __init__(self, block_size: int = 64, start_id: int = 0) -> None:
+        self.block_size = block_size
+        self._data_flits = 1 + block_size // FLIT_BYTES
+        self._free: List[Message] = []
+        self._next_id = start_id
+
+    def make(
+        self,
+        kind: MsgKind,
+        src: int,
+        dst: int,
+        addr: int,
+        data: Optional[int] = None,
+        payload: Optional[Dict[str, Any]] = None,
+        transaction: Optional[object] = None,
+        flits: int = -1,
+    ) -> Message:
+        """A fresh-looking worm: recycled when possible, else allocated."""
+        if flits < 0:
+            flits = self._data_flits if CARRIES_DATA[kind.code] else 1
+        msg_id = self._next_id
+        self._next_id = msg_id + 1
+        free = self._free
+        if free:
+            msg = free.pop()
+            msg.id = msg_id
+            msg.kind = kind
+            msg.src = src
+            msg.dst = dst
+            msg.addr = addr
+            msg.flits = flits
+            msg.data = data
+            if payload is None:
+                msg.payload.clear()  # reuse the dict
+            else:
+                msg.payload = payload
+            msg.created_at = -1
+            msg.injected_at = -1
+            msg.delivered_at = -1
+            msg.trace.clear()  # reuse the list
+            msg.route = None
+            msg.hops = None
+            msg.transaction = transaction
+            return msg
+        return Message(
+            kind, src, dst, addr, flits, data, payload, transaction,
+            msg_id=msg_id,
+        )
+
+    def release(self, msg: Message) -> None:
+        """Return a delivered worm to the free list if nothing holds it."""
+        if len(self._free) < _FREE_MAX and _getrefcount(msg) == _RELEASE_REFS:
+            # break reference cycles / drop payloads before pooling
+            msg.transaction = None
+            msg.data = None
+            msg.hops = None
+            self._free.append(msg)

@@ -27,7 +27,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..cache.hierarchy import CacheHierarchy
-from ..cache.states import LineState
+from ..cache.states import CODE_EXCLUSIVE, LineState
 from ..cache.writebuffer import WriteBuffer
 from ..coherence.messages import Transaction
 from ..errors import ProtocolError
@@ -134,13 +134,13 @@ class ProcStack:
         self._drain_done()
 
     def _apply_store(self, block: int) -> None:
-        line = self.hierarchy.l2.probe(block)
-        if line is None:
+        data = self.hierarchy.l2.probe_data(block)
+        if data is None:
             raise ProtocolError(
                 f"proc {self.proc_id}: store drain lost ownership of {block:#x}",
                 node=self.proc_id, addr=block,
             )
-        new_version = line.data + 1
+        new_version = data + 1
         self.hierarchy.perform_write(block, new_version)
         if self.config.trace_values:
             self.write_trace.append(("w", block, new_version, self.sim.now))
@@ -239,8 +239,7 @@ class ClusterBus:
     def _execute_read(self, op: _BusOp) -> None:
         stack, block = op.stack, op.block
         # the stack may have been filled while this op was queued
-        line = stack.hierarchy.l2.probe(block)
-        if line is not None:
+        if stack.hierarchy.l2.probe_state(block):
             txn = self._local_txn("read", op, served_by="l2")
             self._complete(op, txn)
             return
@@ -291,8 +290,8 @@ class ClusterBus:
 
     def _execute_write(self, op: _BusOp) -> None:
         stack, block = op.stack, op.block
-        line = stack.hierarchy.l2.probe(block)
-        if line is not None and line.state.writable():
+        code = stack.hierarchy.l2.probe_state(block)
+        if code >= CODE_EXCLUSIVE:
             txn = self._local_txn("write", op, served_by="l2")
             self._complete(op, txn)
             return
@@ -310,7 +309,7 @@ class ClusterBus:
                 return
         # otherwise the directory must be involved (upgrade or read-excl);
         # grab a sibling's shared data first so an upgrade suffices
-        if line is None:
+        if not code:
             for sibling in self._siblings(stack):
                 sib_line = sibling.hierarchy.l2.probe(block)
                 if sib_line is not None:

@@ -15,17 +15,16 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from ..cache.states import LineState
+from ..cache.states import CODE_EXCLUSIVE, LineState
 from ..coherence.directory import Directory
 from ..coherence.home import HomeController
 from ..coherence.l2ctrl import NodeController
-from ..coherence.messages import make_message
 from ..errors import ProtocolError
 from ..memory.dram import MemoryModule
 from ..memory.netcache import NetworkCache
 from ..memory.nic import NetworkInterface
 from ..network.fabric import Fabric
-from ..network.message import Message, MsgKind
+from ..network.message import Message, MessagePool, MsgKind
 from ..sim.engine import Simulator
 from .cluster import ClusterBus, ProcStack
 from .sync import BarrierManager, LockManager
@@ -58,11 +57,15 @@ class Node:
         stats,  # MachineStats
         sync_addr: Callable[[str, int], int],
         on_done: Callable[[int], None],
+        pool: Optional[MessagePool] = None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
         self.config = config
         self.stats = stats
+        # the machine's shared worm pool (one id stream per machine);
+        # standalone nodes in unit tests get a private one
+        self._pool = pool if pool is not None else MessagePool(config.block_size)
         self.barriers = barriers
         self.locks = locks
         self.home_of = home_of
@@ -91,7 +94,7 @@ class Node:
             NodeController(
                 sim, node_id, stack.hierarchy, self.ni, home_of, block,
                 netcache=self.netcache, proc_id=stack.proc_id,
-                probe_netcache=False,
+                probe_netcache=False, pool=self._pool,
             )
             for stack in self.stacks
         ]
@@ -106,6 +109,7 @@ class Node:
             send=lambda msg, at: self.ni.send(msg, at=at),
             block_size=block,
             protocol=config.protocol,
+            pool=self._pool,
         )
         self.ni.attach(self._dispatch)
         # statistics
@@ -175,25 +179,21 @@ class Node:
                 ctrl.mark_pending_inval(block)
                 ctrl.invs_received += 1
         if not msg.payload.get("no_ack"):
-            ack = make_message(
-                MsgKind.INV_ACK, self.node_id, msg.src, block,
-                self.config.block_size,
-            )
+            ack = self._pool.make(MsgKind.INV_ACK, self.node_id, msg.src, block)
             self.ni.send(ack)
 
     def _on_recall(self, msg: Message) -> None:
         block = (msg.addr // self.config.block_size) * self.config.block_size
         reply = None
         for stack in self.stacks:
-            line = stack.hierarchy.l2.probe(block)
-            if line is not None and line.state.owned():
+            if stack.hierarchy.state_code(block) >= CODE_EXCLUSIVE:
                 if msg.kind is MsgKind.RECALL:
                     data = stack.hierarchy.downgrade(block)
                 else:
                     _state, data = stack.hierarchy.invalidate(block)
-                reply = make_message(
+                reply = self._pool.make(
                     MsgKind.RECALL_REPLY, self.node_id, msg.src, block,
-                    self.config.block_size, data=data,
+                    data=data,
                 )
                 break
         if msg.kind is MsgKind.RECALL_X:
@@ -203,9 +203,9 @@ class Node:
             for stack in self.stacks:
                 stack.hierarchy.invalidate(block)
         if reply is None:
-            reply = make_message(
+            reply = self._pool.make(
                 MsgKind.RECALL_REPLY, self.node_id, msg.src, block,
-                self.config.block_size, payload={"no_data": True},
+                payload={"no_data": True},
             )
         self.ni.send(reply)
 

@@ -97,97 +97,148 @@ class Processor:
         store_cycles = self.store_cycles
         trace_values = self.trace_values
         write_buffer = node.write_buffer
-        wb_contains = write_buffer.contains
+        wb_entries = write_buffer._entries
+        wb_mask = write_buffer._neg_mask  # 0 = block size not a power of 2
+        wb_block = write_buffer.block_size
+        wb_push = write_buffer.push
+        kick_drain = node.kick_drain
         # the two-level read probe is inlined below (instead of calling
         # CacheHierarchy.read) so the per-load ReadResult allocation and
         # call overhead disappear; the probe sequence — L1 lookup, L2
-        # lookup, L1 refill on an L2 hit — is identical
+        # lookup, L1 refill on an L2 hit — is identical.  Hit statistics
+        # accumulate in locals (hit_wb/hit_l1/hit_l2) and flush in one
+        # bulk call at every loop exit.
         hierarchy = node.hierarchy
-        l1_lookup = hierarchy.l1.lookup
-        l2_lookup = hierarchy.l2.lookup
-        l1_insert = hierarchy.l1.insert
+        l1 = hierarchy.l1
+        l1_lookup_data = l1.lookup_data
+        l2_lookup_data = hierarchy.l2.lookup_data
+        l1_insert = l1.insert
+        # coded-model L1 probe, inlined below (kept in lockstep with
+        # CacheArray.lookup_data — same stats, same LRU updates): the
+        # slot dict and column lists are stable for the array's
+        # lifetime.  The obj escape hatch has no columns and keeps the
+        # method call.
+        l1_slot = getattr(l1, "_slot", None)
+        if l1_slot is not None:
+            l1_slot_get = l1_slot.get
+            l1_states = l1._states
+            l1_data = l1._data
+            l1_lrus = l1._lrus
+            l1_shift = l1._block_shift
+            l1_is_lru = l1._lru
+        else:
+            l1_slot_get = None
         shared = LineState.SHARED
         node_id = node.node_id
-        record_read_hit = stats.record_read_hit
+        add_read_hits = stats.add_read_hits
         ops_iter = self._ops
         time = self.time
         ops_executed = self.ops_executed
+        hit_wb = hit_l1 = hit_l2 = 0
+        # a pending op exists only on re-entry after a full write buffer;
+        # resolving it here keeps the per-op fetch a bare next()
+        op = self._pending_op
+        if op is not None:
+            self._pending_op = None
+        else:
+            op = next(ops_iter, None)
         while True:
-            # yield if we have run too far ahead of global time
-            if time - now >= quantum:
-                self.time = time
-                self.ops_executed = ops_executed
-                sim.at(time, self._resume)
-                return
-            if self._pending_op is not None:
-                op, self._pending_op = self._pending_op, None
-            else:
-                op = next(ops_iter, None)
             if op is None:
                 self.time = time
                 self.ops_executed = ops_executed
+                add_read_hits(node_id, hit_wb, hit_l1, hit_l2)
                 self._begin_finish()
                 return
             code = op[0]
             if code == "r":
                 addr = op[1]
-                if wb_contains(addr):
+                # inlined WriteBuffer.contains (pending stores forward)
+                block = addr & wb_mask if wb_mask else addr // wb_block * wb_block
+                if block in wb_entries or block == write_buffer._draining:
                     time += l1_cycles
                     ops_executed += 1
-                    record_read_hit(node_id, "wb")
-                    continue
-                line = l1_lookup(addr)
-                if line is not None:
-                    time += l1_cycles
-                    ops_executed += 1
-                    record_read_hit(node_id, "l1")
-                    if trace_values:
-                        self.value_trace.append(("r", addr, line.data, time))
-                    continue
-                line = l2_lookup(addr)
-                if line is not None:
-                    # L1 is no-write-allocate/write-through: refill clean
-                    l1_insert(addr, shared, line.data)
-                    time += l2_cycles
-                    ops_executed += 1
-                    record_read_hit(node_id, "l2")
-                    if trace_values:
-                        self.value_trace.append(("r", addr, line.data, time))
-                    continue
-                self.time = time
-                self.ops_executed = ops_executed
-                self._start_read_miss(addr)
-                return
-            if code == "w":
-                if write_buffer.push(op[1]):
+                    hit_wb += 1
+                else:
+                    if l1_slot_get is not None:
+                        i = l1_slot_get(addr >> l1_shift)
+                        if i is None or not l1_states[i]:
+                            l1.misses += 1
+                            data = None
+                        else:
+                            if l1_is_lru:
+                                l1._tick = tick = l1._tick + 1
+                                l1_lrus[i] = tick
+                            l1.hits += 1
+                            data = l1_data[i]
+                    else:
+                        data = l1_lookup_data(addr)
+                    if data is not None:
+                        time += l1_cycles
+                        ops_executed += 1
+                        hit_l1 += 1
+                        if trace_values:
+                            self.value_trace.append(("r", addr, data, time))
+                    else:
+                        data = l2_lookup_data(addr)
+                        if data is None:
+                            self.time = time
+                            self.ops_executed = ops_executed
+                            add_read_hits(node_id, hit_wb, hit_l1, hit_l2)
+                            self._start_read_miss(addr)
+                            return
+                        # L1 is no-write-allocate/write-through: refill clean
+                        l1_insert(addr, shared, data)
+                        time += l2_cycles
+                        ops_executed += 1
+                        hit_l2 += 1
+                        if trace_values:
+                            self.value_trace.append(("r", addr, data, time))
+            elif code == "w":
+                if wb_push(op[1]):
                     time += store_cycles
                     ops_executed += 1
-                    node.kick_drain()
-                    continue
-                # buffer full: wait for a drain to complete, then retry
-                self.time = time
-                self.ops_executed = ops_executed
-                self._pending_op = op
-                self._stall_started = time
-                node.wait_wb_change(self._retry_after_wb)
-                return
-            if code == "work":
+                    # kick_drain()'s first check, hoisted: while a drain
+                    # is in flight the call would return immediately
+                    if not node._draining:
+                        kick_drain()
+                else:
+                    # buffer full: wait for a drain to complete, then retry
+                    self.time = time
+                    self.ops_executed = ops_executed
+                    add_read_hits(node_id, hit_wb, hit_l1, hit_l2)
+                    self._pending_op = op
+                    self._stall_started = time
+                    node.wait_wb_change(self._retry_after_wb)
+                    return
+            elif code == "work":
                 time += op[1]
                 ops_executed += 1
-                continue
-            self.time = time
-            self.ops_executed = ops_executed
-            if code == "barrier":
-                self._pending_op = None
-                self._start_sync(op, is_barrier=True)
+            else:
+                self.time = time
+                self.ops_executed = ops_executed
+                add_read_hits(node_id, hit_wb, hit_l1, hit_l2)
+                if code == "barrier":
+                    self._start_sync(op, is_barrier=True)
+                    return
+                if code == "lock":
+                    self._start_sync(op, is_barrier=False)
+                    return
+                if code == "unlock":
+                    self._start_unlock(op)
+                    return
+                raise SimulationError(f"unknown op {op!r}")
+            # the retired op advanced the local clock; yield once it has
+            # run a quantum ahead of global time.  Every entry into this
+            # loop satisfies time - now < quantum (each exit path above
+            # resumes at or after the saved local time), so checking
+            # after each op matches checking before the next one.
+            if time - now >= quantum:
+                self.time = time
+                self.ops_executed = ops_executed
+                add_read_hits(node_id, hit_wb, hit_l1, hit_l2)
+                sim.at(time, self._resume)
                 return
-            if code == "lock":
-                self._start_sync(op, is_barrier=False)
-                return
-            if code == "unlock":
-                self._start_unlock(op)
-                return
-            raise SimulationError(f"unknown op {op!r}")
+            op = next(ops_iter, None)
 
     # ------------------------------------------------------------------
     # read misses
@@ -258,15 +309,14 @@ class Processor:
     def _rmw(self, addr: int, then: Callable[[], None]) -> None:
         """Read-modify-write the synchronization variable coherently."""
         node = self.node
-        probe = node.hierarchy.write_probe(addr)
+        hierarchy = node.hierarchy
+        probe = hierarchy.write_probe(addr)
         if probe.action == "hit":
-            line = node.hierarchy.l2.probe(addr)
-            node.hierarchy.perform_write(addr, line.data + 1)
+            hierarchy.perform_write(addr, hierarchy.l2.probe_data(addr) + 1)
             self.sim.schedule(2, then)
         else:
             def owned(txn: Transaction) -> None:
-                line = node.hierarchy.l2.probe(addr)
-                node.hierarchy.perform_write(addr, line.data + 1)
+                hierarchy.perform_write(addr, hierarchy.l2.probe_data(addr) + 1)
                 then()
 
             node.l2ctrl.issue_write(addr, owned)

@@ -163,7 +163,7 @@ class Simulator:
 
     __slots__ = (
         "now", "_seq", "_queue", "_events_fired", "_cancelled_queued",
-        "horizon", "tracer", "engine", "_free",
+        "horizon", "tracer", "engine", "_free", "_stop", "_cal",
     )
 
     def __init__(
@@ -175,8 +175,14 @@ class Simulator:
             engine = os.environ.get(ENGINE_ENV, "calendar")
         self.engine: str = engine
         self._queue: EventQueue = _make_queue(engine)
+        # the default queue, downcast once: call_at inlines its push
+        queue = self._queue
+        self._cal: Optional[CalendarQueue] = (
+            queue if isinstance(queue, CalendarQueue) else None
+        )
         self._events_fired: int = 0
         self._cancelled_queued: int = 0  # cancelled events still queued
+        self._stop: bool = False  # set by request_stop(), read per event
         self._free: List[Event] = []
         self.horizon = horizon
         # observability hook: components reach the run's Tracer through
@@ -222,7 +228,25 @@ class Simulator:
             event._sim = self
         else:
             event = Event(time, seq, fn, self, args)
-        self._queue.push(event)
+        cal = self._cal
+        if cal is None:
+            self._queue.push(event)
+        else:
+            # inlined CalendarQueue.push — kept in lockstep with
+            # repro.sim.calqueue.  Scheduling is one queue call per
+            # event; collapsing the engine's hottest call edge is worth
+            # the coupling to the bucket layout.
+            heappush(
+                cal._buckets[(time // cal._width) & cal._mask],
+                (time, seq, event),
+            )
+            size = cal._size = cal._size + 1
+            if size > cal.peak:
+                cal.peak = size
+            if time < cal._rewind_below:
+                cal._position(time)
+            if size > cal._grow_above:
+                cal._resize(cal._nbuckets * 2)
         return event
 
     def _recycle(self, event: Event) -> None:
@@ -368,6 +392,61 @@ class Simulator:
                 callback(*args)
             return self.now
         finally:
+            # counted locally in the loop; published even on an exception
+            self._events_fired += fired
+
+    def request_stop(self) -> None:
+        """Ask the running :meth:`run_until_stop` loop to exit.
+
+        Takes effect before the next event fires, exactly where a
+        ``run_while`` predicate turning false would have stopped.
+        """
+        self._stop = True
+
+    def run_until_stop(self) -> int:
+        """Run events until :meth:`request_stop` (or the queue drains).
+
+        Equivalent to ``run_while(lambda: not stopped)``, but the
+        per-event predicate call collapses to one attribute load — this
+        is the main loop of a :class:`~repro.system.machine.Machine`,
+        whose only stop condition is "every processor finished".
+        """
+        queue = self._queue
+        pop = queue.pop
+        recycle = self._recycle
+        free = self._free
+        grc = _getrefcount
+        horizon = self.horizon
+        fired = 0
+        try:
+            while not self._stop:
+                while True:
+                    event = pop()
+                    if event is None:
+                        return self.now
+                    event._sim = None
+                    if not event.cancelled:
+                        break
+                    self._cancelled_queued -= 1
+                    recycle(event)
+                if horizon is not None and event.time > horizon:
+                    return self.now  # beyond the horizon: drop, as step()
+                self.now = event.time
+                fired += 1
+                callback = event.callback
+                args = event.args
+                if (
+                    len(free) < _FREE_MAX
+                    and grc is not None
+                    and grc(event) == 2
+                ):
+                    event.callback = _no_callback
+                    event.args = ()
+                    free.append(event)
+                callback(*args)
+            return self.now
+        finally:
+            self._stop = False
             # counted locally in the loop; published even on an exception
             self._events_fired += fired
 

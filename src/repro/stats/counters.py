@@ -83,6 +83,16 @@ class MachineStats:
         # hits are effectively free relative to misses; latency ~1-10 is
         # accounted by the processor's local clock, not recorded here
 
+    def add_read_hits(self, node: int, wb: int, l1: int, l2: int) -> None:
+        """Bulk form of :meth:`record_read_hit` — the processor's
+        fast-forward loop batches hit counts in locals and flushes them
+        here when it leaves the loop."""
+        counts = self.read_counts
+        counts["wb"] += wb
+        counts["l1"] += l1
+        counts["l2"] += l2
+        self.per_node_reads[node] += wb + l1 + l2
+
     def record_read_txn(self, node: int, txn: Transaction, stall: int) -> None:
         category = txn.served_by or "remote_mem"
         self.read_counts[category] += 1

@@ -24,6 +24,7 @@ from ..core.switchcache import SwitchCacheGeometry
 from ..errors import DeadlockError, SimulationError
 from ..network.fabric import Fabric
 from ..network.flitref import FlitNetwork
+from ..network.message import MessagePool
 from ..network.topology import BminTopology
 from ..node.node import Node
 from ..node.sync import BarrierManager, LockManager
@@ -65,6 +66,9 @@ class Machine:
             self.sim = Simulator()
         # installed before any component is built, so every hook sees it
         self.sim.tracer = tracer
+        # one worm pool per machine: a single message-id stream and one
+        # free list shared by the fabric and every controller
+        self.pool = MessagePool(config.block_size)
         self.topology = BminTopology(config.num_nodes)
         if config.network_model == "flit":
             # the flit-granularity reference model has no sanitized
@@ -74,6 +78,7 @@ class Machine:
                 self.topology,
                 cycles_per_flit=config.cycles_per_flit,
                 switch_delay=config.switch_delay,
+                pool=self.pool,
             )
         elif self.sanitizer is not None:
             self.fabric = SanitizedFabric(
@@ -82,6 +87,7 @@ class Machine:
                 self.topology,
                 switch_delay=config.switch_delay,
                 cycles_per_flit=config.cycles_per_flit,
+                pool=self.pool,
             )
         else:
             self.fabric = Fabric(
@@ -89,6 +95,7 @@ class Machine:
                 self.topology,
                 switch_delay=config.switch_delay,
                 cycles_per_flit=config.cycles_per_flit,
+                pool=self.pool,
             )
         if config.switch_caches_enabled:
             self.fabric.install_cache_engines(self._make_engine)
@@ -117,6 +124,7 @@ class Machine:
                 self.stats,
                 self.sync_addr,
                 self._node_done,
+                pool=self.pool,
             )
             for node_id in range(config.num_nodes)
         ]
@@ -155,6 +163,8 @@ class Machine:
     def _node_done(self, proc_id: int) -> None:
         self._done_count += 1
         self.stats.record_finish(proc_id, self.sim.now)
+        if self._done_count >= self._num_procs:
+            self.sim.request_stop()
 
     def _procs_remaining(self) -> bool:
         """Main-loop predicate: processors still running (called per event)."""
@@ -228,7 +238,8 @@ class Machine:
         metrics = self.metrics
         if metrics is not None and metrics.sample_interval:
             self.sim.schedule(metrics.sample_interval, self._sample_metrics)
-        self.sim.run_while(self._procs_remaining)
+        if self._done_count < self._num_procs:
+            self.sim.run_until_stop()
         if self._done_count < self.num_procs:
             stuck = [s.proc_id for s in self.stacks() if not s.processor.done]
             raise DeadlockError(
@@ -285,7 +296,7 @@ class Machine:
                             f"holders {holders_m}"
                         )
                     for node_id, version in holders_s:
-                        if node_id not in entry.sharers:
+                        if not entry.has_sharer(node_id):
                             problems.append(
                                 f"block {block:#x}: node {node_id} holds S "
                                 f"copy but is not a registered sharer"

@@ -12,7 +12,7 @@ A run must be a pure function of the configuration and the seeds (see
   sharer set) makes message fan-out order depend on hash order, which
   varies across Python builds.  Wrap the iterable in ``sorted()``.
 
-Two structural rules ride along:
+Three structural rules ride along:
 
 * **H (hot-path slots)** — classes in the engine/fabric hot paths must
   declare ``__slots__``; attribute-dict lookups there dominate the
@@ -23,6 +23,12 @@ Two structural rules ride along:
   store ``fn`` + ``args`` directly; see DESIGN.md §9).  Kernel code must
   pass the bound method and its arguments instead:
   ``sim.call(delay, self._finish, txn)``.
+* **B (bitmask sharers)** — coherence modules must not declare public
+  ``Set``-typed sharer fields: the directory's sharer vector is an int
+  bitmask (DESIGN.md §10), and a set-typed field reintroduces both the
+  per-entry allocation and the hash-order iteration hazard that rule S
+  guards against.  The object reference model keeps its set under a
+  private ``_sharers`` name, which this rule deliberately skips.
 
 Run as ``python -m repro.verify.lint`` (exit status 1 when findings
 exist).  The rules are deliberately narrow — they whitelist nothing via
@@ -76,7 +82,7 @@ SCHEDULING_METHODS = {"schedule", "at", "call", "call_at"}
 
 @dataclass(frozen=True)
 class Finding:
-    rule: str  # "W" | "R" | "S" | "H" | "L"
+    rule: str  # "W" | "R" | "S" | "H" | "L" | "B"
     path: str  # repo-relative module path
     line: int
     message: str
@@ -101,10 +107,11 @@ class _ModuleLint(ast.NodeVisitor):
     """All per-module rules in one AST walk."""
 
     def __init__(self, rel_path: str, order_sensitive: bool,
-                 hot: bool) -> None:
+                 hot: bool, coherence: bool = False) -> None:
         self.rel_path = rel_path
         self.order_sensitive = order_sensitive
         self.hot = hot
+        self.coherence = coherence
         self.findings: List[Finding] = []
         # names bound to bare sets in the current scope chain (heuristic:
         # module-wide, no shadow tracking — kernel modules are small)
@@ -179,7 +186,32 @@ class _ModuleLint(ast.NodeVisitor):
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None:
             self._track_set_binding(node.target, node.value)
+        self._check_sharer_field(node.target, node.annotation)
         self.generic_visit(node)
+
+    # -- rule B: Set-typed sharer fields in coherence modules ------------
+    def _check_sharer_field(self, target: ast.AST,
+                            annotation: ast.AST) -> None:
+        if not self.coherence:
+            return
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        else:
+            return
+        if "sharers" not in name or name.startswith("_"):
+            return  # the obj reference model's private set is exempt
+        if isinstance(annotation, ast.Subscript):
+            annotation = annotation.value
+        ann = (_dotted(annotation) or "").rsplit(".", 1)[-1]
+        if ann in ("Set", "set", "FrozenSet", "frozenset", "MutableSet"):
+            self._report(
+                "B", target,
+                f"Set-typed sharer field {name!r} in a coherence module — "
+                f"sharer vectors are int bitmasks (sharers_mask); keep "
+                f"set-based reference models behind a private _ name",
+            )
 
     def _check_iteration(self, iter_node: ast.AST) -> None:
         if not self.order_sensitive:
@@ -242,6 +274,7 @@ def lint_file(path: Path, root: Path) -> List[Finding]:
         rel,
         order_sensitive=any(rel.startswith(p) for p in ORDER_SENSITIVE),
         hot=rel in HOT_MODULES,
+        coherence=rel.startswith("coherence/"),
     )
     visitor.visit(tree)
     return sorted(visitor.findings, key=lambda f: (f.path, f.line, f.rule))

@@ -28,6 +28,21 @@ def test_run_bench_measures_both_engines(tiny_workloads):
     assert payload["geomean_speedup"] == entry["speedup"]
 
 
+def test_run_bench_measures_state_kernels(tiny_workloads):
+    payload = bench.run_bench(repeat=1)
+    assert payload["schema"] == bench.SCHEMA_VERSION
+    assert payload["state_models"] == list(bench.STATE_MODELS)
+    entry = payload["workloads"]["tiny"]
+    for state in bench.STATE_MODELS:
+        kernel = entry["kernels"][state]
+        assert kernel["events_per_s"] > 0
+        assert "peak_pending" not in kernel  # engine property, not state
+    assert entry["kernel_speedup"] > 0
+    assert payload["geomean_kernel_speedup"] == entry["kernel_speedup"]
+    report = bench.format_report(payload)
+    assert "geomean kernel speedup" in report
+
+
 def test_check_against_accepts_itself(tiny_workloads):
     payload = bench.run_bench(repeat=1)
     assert bench.check_against(payload, payload) == []
@@ -46,6 +61,24 @@ def test_check_against_flags_timing_drift_and_regression(tiny_workloads):
     )
     problems = bench.check_against(slower, payload, threshold=0.25)
     assert any("regressed" in p for p in problems)
+
+    slow_kernel = json.loads(json.dumps(payload))
+    slow_kernel["workloads"]["tiny"]["kernel_speedup"] = (
+        payload["workloads"]["tiny"]["kernel_speedup"] * 0.5
+    )
+    problems = bench.check_against(slow_kernel, payload, threshold=0.25)
+    assert any("kernel speedup regressed" in p for p in problems)
+
+
+def test_check_against_tolerates_schema1_baseline(tiny_workloads):
+    # a schema-1 baseline has no kernels section; the kernel gate must
+    # simply not fire rather than KeyError
+    payload = bench.run_bench(repeat=1)
+    old = json.loads(json.dumps(payload))
+    for entry in old["workloads"].values():
+        entry.pop("kernels", None)
+        entry.pop("kernel_speedup", None)
+    assert bench.check_against(payload, old) == []
 
 
 def test_check_against_flags_workload_set_changes(tiny_workloads):

@@ -196,7 +196,7 @@ def test_property_occupancy_never_exceeds_capacity(ops):
         assert array.occupancy() <= capacity
         # per-set occupancy bound
         for s in range(array.num_sets):
-            assert len(array._sets[s]) <= array.assoc
+            assert array.set_len(s) <= array.assoc
 
 
 @settings(max_examples=50, deadline=None)

@@ -320,6 +320,37 @@ class TestDeterminismLint:
         )
         assert not any(f.rule == "L" for f in findings)
 
+    def test_set_typed_sharers_flagged_in_coherence(self, tmp_path):
+        findings = self._lint_snippet(
+            tmp_path, "coherence/dir2.py",
+            "from typing import Set\n\n"
+            "class Entry:\n"
+            "    def __init__(self):\n"
+            "        self.sharers: Set[int] = set()\n",
+        )
+        assert any(f.rule == "B" for f in findings)
+
+    def test_private_or_masked_sharers_allowed(self, tmp_path):
+        # the obj reference model's private set and the coded bitmask
+        # are both fine; so is a Set-typed field outside coherence/
+        clean = (
+            "from typing import Set\n\n"
+            "class Entry:\n"
+            "    def __init__(self):\n"
+            "        self._sharers: Set[int] = set()\n"
+            "        self.sharers_mask: int = 0\n"
+        )
+        findings = self._lint_snippet(tmp_path, "coherence/dir3.py", clean)
+        assert not any(f.rule == "B" for f in findings)
+        elsewhere = self._lint_snippet(
+            tmp_path, "trace/readers.py",
+            "from typing import Set\n\n"
+            "class T:\n"
+            "    def __init__(self):\n"
+            "        self.sharers: Set[int] = set()\n",
+        )
+        assert not any(f.rule == "B" for f in elsewhere)
+
     def test_cli_exit_status(self, capsys):
         assert lint_determinism.main([]) == 0
         out = capsys.readouterr().out
