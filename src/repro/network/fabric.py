@@ -185,19 +185,20 @@ class Fabric:
         """Send ``msg`` from its source node's NI into the network."""
         if msg.src == msg.dst:
             raise NetworkError("local messages must not enter the fabric")
+        sim = self.sim
         if msg.created_at < 0:
-            msg.created_at = self.sim.now
+            msg.created_at = sim.now
         # the cached route list is shared across worms (read-only by
         # convention); resolving per-inject was a measurable allocation
         msg.route = self._route_lists[(msg.src, msg.dst)]
         msg.hops = self._route_objs[(msg.src, msg.dst)]
         link = self._inject_links[msg.src]
-        grant, _tail = link.reserve(msg.flits, earliest=self.sim.now)
+        grant, _tail = link.reserve(msg.flits, earliest=sim.now)
         msg.injected_at = grant
         self.stats.msgs_injected += 1
         self.stats.flits_injected += msg.flits
         header_at_switch = grant + self.cycles_per_flit
-        self.sim.call_at(header_at_switch, self._arrive, msg, 0)
+        sim.call_at(header_at_switch, self._arrive, msg, 0)
 
     # ------------------------------------------------------------------
     # per-hop processing
@@ -277,10 +278,11 @@ class Fabric:
         switch.msgs_routed += 1
         switch.flits_routed += flits
         next_hop = hop + 1
+        call_at = self.sim.call_at
         if next_hop == len(hops):
-            self.sim.call_at(tail_done, self._deliver, msg)
+            call_at(tail_done, self._deliver, msg)
         else:
-            self.sim.call_at(
+            call_at(
                 grant + switch.cycles_per_flit, self._arrive, msg, next_hop
             )
 

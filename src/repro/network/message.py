@@ -64,6 +64,8 @@ class MsgKind(enum.Enum):
     RECALL_X = "recall_x"      # home -> owner: invalidate and return data
     RECALL_REPLY = "recall_reply"  # owner -> home: recalled data
     WRITEBACK = "writeback"    # owner -> home: evicted dirty block
+    # writebacks are currently fire-and-forget; WB_ACK is reserved for an
+    # acknowledged-writeback variant  # repro: allow[F-DEAD]
     WB_ACK = "wb_ack"          # home -> owner
     # the switch-cache bookkeeping message: a READ served by a switch cache
     # continues to the home node as this 1-flit directory update

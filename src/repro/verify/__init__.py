@@ -1,7 +1,18 @@
 """Correctness tooling for the simulator (``repro.verify``).
 
-Three coordinated analyzers guard the coherence protocol and the event
-kernel:
+Run everything at once with ``python -m repro.verify`` (static rules +
+model-check smoke, aggregated exit code).  The individual analyzers:
+
+* :mod:`repro.verify.flowcheck` — the static analysis gate: every rule
+  of the unified framework (:mod:`repro.verify.framework`) over the
+  source tree.  Handler exhaustiveness (F-*) and lane-dependency
+  deadlock freedom (C-*) over the extracted MsgKind send/receive graph,
+  hot-path purity (P-*) for the PR 4/6 inlined regions, and the
+  determinism lint (W/R/S/H/L/B) adapted from
+  :mod:`repro.verify.lint_determinism`.  Findings ratchet against the
+  committed ``flowcheck_baseline.json``; single findings are silenced
+  in place with ``# repro: allow[RULE-ID]``.
+  Run as ``python -m repro.verify.flowcheck``.
 
 * :mod:`repro.verify.modelcheck` — an explicit-state model checker that
   BFS-enumerates the reachable protocol state space for a small
@@ -17,22 +28,36 @@ kernel:
   simulation plus flit conservation, event-time monotonicity, and
   write-buffer drain-before-release ordering.
 
-* :mod:`repro.verify.lint_determinism` — an AST lint forbidding
-  wall-clock and unseeded randomness in kernel modules, unsorted
-  ``set`` iteration in simulation-order-sensitive code, and missing
-  ``__slots__`` on hot-path classes.
-  Run as ``python -m repro.verify.lint``.
+* :mod:`repro.verify.lint_determinism` — the legacy single-file
+  determinism lint.  Its rules now run inside flowcheck; the old
+  ``python -m repro.verify.lint`` entry point is deprecated.
 """
 
+from .framework import (
+    AnalysisContext,
+    Finding,
+    Report,
+    Rule,
+    all_rules,
+    load_context,
+    run_rules,
+)
 from .modelcheck import CheckResult, ModelConfig, ProtocolModel, check
 from .sanitize import SanitizedFabric, SanitizedSimulator, Sanitizer
 
 __all__ = [
+    "AnalysisContext",
     "CheckResult",
+    "Finding",
     "ModelConfig",
     "ProtocolModel",
+    "Report",
+    "Rule",
     "SanitizedFabric",
     "SanitizedSimulator",
     "Sanitizer",
+    "all_rules",
     "check",
+    "load_context",
+    "run_rules",
 ]

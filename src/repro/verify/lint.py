@@ -1,6 +1,29 @@
-"""``python -m repro.verify.lint``: run the determinism lint."""
+"""Deprecated: ``python -m repro.verify.lint``.
+
+The determinism lint's rules (W/R/S/H/L/B) now run inside the unified
+analysis framework — use ``python -m repro.verify.flowcheck`` for the
+full static gate or ``python -m repro.verify`` for everything.  This
+shim keeps the old entry point working for one release.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
 
 from .lint_determinism import main
 
 if __name__ == "__main__":
+    warnings.warn(
+        "python -m repro.verify.lint is deprecated; use "
+        "python -m repro.verify.flowcheck (static gate) or "
+        "python -m repro.verify (everything)",
+        DeprecationWarning,
+        stacklevel=1,
+    )
+    print(
+        "note: repro.verify.lint is deprecated; "
+        "use python -m repro.verify.flowcheck",
+        file=sys.stderr,
+    )
     raise SystemExit(main())

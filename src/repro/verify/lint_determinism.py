@@ -42,7 +42,7 @@ import ast
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Set
 
 #: packages whose modules form the deterministic simulation kernel
 KERNEL_PACKAGES = (
@@ -115,7 +115,7 @@ class _ModuleLint(ast.NodeVisitor):
         self.findings: List[Finding] = []
         # names bound to bare sets in the current scope chain (heuristic:
         # module-wide, no shadow tracking — kernel modules are small)
-        self._set_names: set = set()
+        self._set_names: Set[str] = set()
 
     def _report(self, rule: str, node: ast.AST, message: str) -> None:
         self.findings.append(

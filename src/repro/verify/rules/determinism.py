@@ -1,0 +1,65 @@
+"""Framework adapters for the legacy determinism lint (PR 3).
+
+``repro.verify.lint_determinism`` predates the rule framework and keeps
+its own single-file scanner with one-letter rule ids (W, R, S, H, L, B).
+Rather than rewrite it, each letter is wrapped as a framework
+:class:`Rule` so the umbrella runner, the ``# repro: allow[...]``
+suppressions, the baseline, and the JSON report all see determinism
+findings through the same pipe as the flow/lane/hot-path rules.
+
+The underlying scan runs once per context (memoized in ``ctx.cache``)
+and is sliced by rule letter here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .. import lint_determinism
+from ..framework import AnalysisContext, Finding, Rule, register
+
+#: letter -> short title, in the legacy lint's reporting order
+_LETTERS: Dict[str, str] = {
+    "W": "no wall-clock reads in kernel packages",
+    "R": "no unseeded randomness in kernel packages",
+    "S": "no unordered-set iteration in order-sensitive modules",
+    "H": "hot-module classes declare __slots__",
+    "L": "no lambdas scheduled through the event engine",
+    "B": "no Set-typed sharer fields in coherence modules",
+}
+
+
+def _scan(ctx: AnalysisContext) -> Dict[str, List[Finding]]:
+    cached = ctx.cache.get("determinism")
+    if isinstance(cached, dict):
+        return cached
+    by_letter: Dict[str, List[Finding]] = {letter: [] for letter in _LETTERS}
+    prefixes = tuple(
+        pkg + "/" for pkg in lint_determinism.KERNEL_PACKAGES
+    )
+    for module in ctx.modules:
+        if not module.rel_path.startswith(prefixes):
+            continue
+        for found in lint_determinism.lint_file(module.path, ctx.root):
+            bucket = by_letter.get(found.rule)
+            if bucket is not None:
+                bucket.append(Finding(
+                    found.rule, found.path, found.line, found.message,
+                ))
+    ctx.cache["determinism"] = by_letter
+    return by_letter
+
+
+class _DeterminismRule(Rule):
+    """One legacy lint letter exposed as a framework rule."""
+
+    def __init__(self, letter: str, title: str) -> None:
+        self.id = letter
+        self.title = title
+
+    def run(self, ctx: AnalysisContext) -> List[Finding]:
+        return list(_scan(ctx)[self.id])
+
+
+for _letter, _title in _LETTERS.items():
+    register(_DeterminismRule(_letter, _title))

@@ -1,0 +1,30 @@
+"""Fixture: WB_ACK is declared but never sent nor handled (F-DEAD)."""
+
+
+class MsgKind:
+    READ = "read"
+    DATA_S = "data_s"
+    WB_ACK = "wb_ack"
+
+
+class HomeController:
+    def receive(self, msg):
+        if msg.kind == MsgKind.READ:
+            self.send(MsgKind.DATA_S, msg.src)
+        else:
+            raise ValueError(msg)
+
+
+class NodeController:
+    def receive(self, msg):
+        if msg.kind == MsgKind.DATA_S:
+            self.fill(msg)
+        else:
+            raise ValueError(msg)
+
+    def fill(self, msg):
+        self.count += 1
+
+
+def boot(home):
+    home.send(MsgKind.READ, 0)

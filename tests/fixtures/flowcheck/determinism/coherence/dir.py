@@ -1,0 +1,7 @@
+"""Fixture: a Set-typed sharer field in a coherence module (B)."""
+
+from typing import Set
+
+
+class Directory:
+    sharers: Set[int]

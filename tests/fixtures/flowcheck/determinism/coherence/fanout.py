@@ -1,0 +1,8 @@
+"""Fixture: bare-set iteration in an order-sensitive module (S)."""
+
+
+def fanout(sharers):
+    order = []
+    for node in set(sharers):
+        order.append(node)
+    return order

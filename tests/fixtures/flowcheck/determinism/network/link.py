@@ -1,0 +1,6 @@
+"""Fixture: a hot-module class without __slots__ (H)."""
+
+
+class Link:
+    def __init__(self):
+        self.busy_until = 0

@@ -1,0 +1,7 @@
+"""Fixture: unseeded global randomness in a kernel module (R)."""
+
+import random
+
+
+def pick(items):
+    return random.choice(items)

@@ -1,0 +1,8 @@
+"""Fixture: a lambda scheduled through the event engine (L)."""
+
+
+class Retimer:
+    __slots__ = ("sim",)
+
+    def go(self):
+        self.sim.call(5, lambda: 0)

@@ -1,0 +1,7 @@
+"""Fixture: wall-clock use in a kernel module (W, twice: import + call)."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,9 @@
+"""Fixture: a list display inside a hot region (P-ALLOC)."""
+
+
+class Simulator:
+    __slots__ = ("_queue",)
+
+    def step(self):
+        pending = [self._queue]
+        return pending

@@ -1,0 +1,10 @@
+"""Fixture: the same 2-hop attribute chain loaded twice (P-ATTR)."""
+
+
+class Simulator:
+    __slots__ = ("clock",)
+
+    def step(self):
+        first = self.clock.now
+        second = self.clock.now
+        return first + second

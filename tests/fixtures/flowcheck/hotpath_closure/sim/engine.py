@@ -1,0 +1,10 @@
+"""Fixture: a nested def inside a hot region (P-CLOSURE)."""
+
+
+class Simulator:
+    __slots__ = ("_queue",)
+
+    def run(self):
+        def tick():
+            return 0
+        return tick

@@ -1,0 +1,10 @@
+"""Fixture: instantiating a slot-less class in a hot region (P-NOSLOTS)."""
+
+from sim.types import Event
+
+
+class Simulator:
+    __slots__ = ()
+
+    def _recycle(self):
+        return Event()

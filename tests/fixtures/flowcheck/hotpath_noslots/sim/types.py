@@ -1,0 +1,6 @@
+"""Fixture support: a class without __slots__ (outside the hot modules)."""
+
+
+class Event:
+    def __init__(self):
+        self.fn = None

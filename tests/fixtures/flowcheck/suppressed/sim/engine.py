@@ -1,0 +1,9 @@
+"""Fixture: an inline ``# repro: allow[...]`` silences a finding."""
+
+
+class Simulator:
+    __slots__ = ("_queue",)
+
+    def step(self):
+        pending = [self._queue]  # repro: allow[P-ALLOC]
+        return pending
