@@ -1,7 +1,12 @@
 """CAESAR: the CAche Embedded Switch ARchitecture engine.
 
 One :class:`CaesarEngine` lives inside each switch of a switch-cache
-interconnect.  The fabric calls exactly three hooks as worm headers arrive:
+interconnect.  The fabric calls exactly three hooks as worm headers arrive.
+Each hook takes the header-arrival cycle as an explicit ``now`` argument
+(defaulting to the simulator clock): the fabric's express transit
+(DESIGN.md §12) processes several hops inside one event, so the hooks
+must time their port grants off the worm's *logical* arrival cycle, not
+off whenever the fused event happens to be executing.  The three hooks:
 
 * :meth:`snoop` — an INV worm passes: purge a matching block (second tag
   port, never skipped, never delays the worm).
@@ -83,13 +88,14 @@ class CaesarEngine:
     # ------------------------------------------------------------------
     # fabric hooks
     # ------------------------------------------------------------------
-    def snoop(self, msg: Message) -> None:
+    def snoop(self, msg: Message, now: int = -1) -> None:
         """INV passing through: purge a matching block.  Never skipped."""
         self.snoops += 1
         # inlined SwitchCacheSRAM.snoop_invalidate (same grants, stats)
         port = self._snoop_port
         tag_cycles = self._tag_cycles
-        now = self.sim.now
+        if now < 0:
+            now = self.sim.now
         start = port._free_at
         if start < now:
             start = now
@@ -111,12 +117,13 @@ class CaesarEngine:
                     self.trace_track, "sc_purge", now, {"addr": msg.addr}
                 )
 
-    def try_deposit(self, msg: Message) -> bool:
+    def try_deposit(self, msg: Message, now: int = -1) -> bool:
         """DATA_S passing through: capture the block unless the bank is busy."""
         if not self._enabled:
             return False
         addr = msg.addr
-        now = self.sim.now
+        if now < 0:
+            now = self.sim.now
         port = self._data_ports[(addr // self._block_size) & self._bank_mask]
         # policy.should_deposit(data_backlog) with the max(0, ...) folded in
         if port._free_at - now > self._deposit_threshold:
@@ -155,11 +162,14 @@ class CaesarEngine:
                 )
         return True
 
-    def try_intercept(self, msg: Message) -> Optional[Tuple[int, int]]:
+    def try_intercept(
+        self, msg: Message, now: int = -1
+    ) -> Optional[Tuple[int, int]]:
         """READ arriving: probe; return (data, reply_ready_time) on a hit."""
         if not self._enabled:
             return None
-        now = self.sim.now
+        if now < 0:
+            now = self.sim.now
         tag_port = self._tag_port
         # policy.should_check(tag_backlog) with the max(0, ...) folded in
         if tag_port._free_at - now > self._bypass_threshold:

@@ -20,6 +20,17 @@ worms — DESIGN.md §10) against the ``REPRO_STATE=obj`` object reference
 models.  Cycles and events must again be identical — the coded kernels
 change how state is stored, never what the machine does.
 
+Since schema 3 each workload additionally carries an ``express`` A/B
+section: the fabric's express-transit event fusion (DESIGN.md §12) off
+vs on, on the default engine + kernels.  Here **cycles** must be
+identical — fusion is a scheduling transformation, never a timing one —
+but ``events`` legitimately differ: fused hops never become events, which
+is the entire point.  The paired ``express_speedup`` is therefore a
+wall-clock ratio (off/on on the same host), not an events/s ratio.  The
+engine and kernel sections run with express *off*, so their cross-engine
+events-identity assert keeps full strength and their speedup ratios stay
+comparable to pre-express baselines.
+
 The result is written to ``BENCH_engine.json`` at the repo root, seeding
 the perf trajectory that future optimisation PRs extend.
 
@@ -29,10 +40,10 @@ so the check only uses portable quantities:
 
 * ``cycles``/``events`` must match the baseline exactly (cross-commit
   determinism), and
-* the calendar-vs-heap ``speedup`` and the coded-vs-obj
-  ``kernel_speedup`` ratios — both sides of each ratio measured on the
-  *same* host, so hardware cancels out — must not regress by more than
-  the threshold (default 25%).
+* the calendar-vs-heap ``speedup``, the coded-vs-obj ``kernel_speedup``
+  and the fusion ``express_speedup`` ratios — both sides of each ratio
+  measured on the *same* host, so hardware cancels out — must not
+  regress by more than the threshold (default 25%).
 
 Runs are always fresh simulations (never served from the run cache) with
 SCSan forced off, so the numbers measure the engine, not the harness.
@@ -46,17 +57,20 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..apps.synthetic import SharedReaders
+from ..apps.synthetic import PingPong, SharedReaders
 from ..cache.states import STATE_ENV
+from ..network.fabric import EXPRESS_ENV
 from ..sim.engine import ENGINE_ENV
 from ..system.config import SystemConfig
 from ..system.machine import Machine
 from .common import make_app
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 ENGINES = ("heap", "calendar")
 #: state-kernel A/B order: reference first, so ``coded`` is the speedup
 STATE_MODELS = ("obj", "coded")
+#: express-transit A/B order: reference (fusion off) first
+EXPRESS_MODES = ("off", "on")
 DEFAULT_PATH = "BENCH_engine.json"
 DEFAULT_REPEAT = 2
 DEFAULT_THRESHOLD = 0.25
@@ -78,6 +92,12 @@ def _workloads() -> List[Workload]:
         ("GE/base", lambda: base_config(16), lambda: make_app("GE", "quick")),
         ("GE/sc", lambda: switch_cache_config(16),
          lambda: make_app("GE", "quick")),
+        # the paper's motivating regime — one outstanding remote miss at a
+        # time, fabric otherwise quiet — is where express transit's
+        # quiescent-window fusion does its work; the barrier-storm apps
+        # above keep several worms in flight and rarely fuse
+        ("ping-pong/sc", lambda: switch_cache_config(16),
+         lambda: PingPong(rounds=120, blocks=4)),
     ]
 
 
@@ -86,13 +106,17 @@ def _run_once(
     app_factory: Callable[[], Any],
     engine: str,
     state: str = "coded",
+    express: str = "off",
 ) -> Dict[str, Any]:
     """One fresh, cache-free, sanitizer-free simulation on ``engine``
-    with the ``state`` kernel model (coded by default)."""
+    with the ``state`` kernel model and ``express`` transit mode
+    (fusion off by default, so engine/kernel A/Bs measure one axis)."""
     previous = os.environ.get(ENGINE_ENV)
     previous_state = os.environ.get(STATE_ENV)
+    previous_express = os.environ.get(EXPRESS_ENV)
     os.environ[ENGINE_ENV] = engine
     os.environ[STATE_ENV] = state
+    os.environ[EXPRESS_ENV] = express
     try:
         machine = Machine(config, sanitize=False)
         app = app_factory()
@@ -100,14 +124,15 @@ def _run_once(
         stats = machine.run(app)
         wall = time.perf_counter() - started
     finally:
-        if previous is None:
-            os.environ.pop(ENGINE_ENV, None)
-        else:
-            os.environ[ENGINE_ENV] = previous
-        if previous_state is None:
-            os.environ.pop(STATE_ENV, None)
-        else:
-            os.environ[STATE_ENV] = previous_state
+        for env, saved in (
+            (ENGINE_ENV, previous),
+            (STATE_ENV, previous_state),
+            (EXPRESS_ENV, previous_express),
+        ):
+            if saved is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = saved
     return {
         "wall_s": wall,
         "cycles": stats.exec_time,
@@ -128,16 +153,24 @@ def run_bench(repeat: int = DEFAULT_REPEAT) -> Dict[str, Any]:
     workloads: Dict[str, Any] = {}
     speedups: List[float] = []
     kernel_speedups: List[float] = []
+    express_speedups: List[float] = []
     for name, config_factory, app_factory in _workloads():
         config = config_factory()
         entry: Dict[str, Any] = {}
         reference: Optional[Dict[str, Any]] = None
 
-        def measure(engine: str, state: str) -> Dict[str, Any]:
-            """Best-of-repeat on one (engine, state); checks identity."""
+        def measure(
+            engine: str, state: str, express: str = "off"
+        ) -> Dict[str, Any]:
+            """Best-of-repeat on one (engine, state, express) cell.
+
+            Cycles must match the workload's reference cell always;
+            events too, except on the express axis, where fusion removes
+            events by design (cycles-only identity there).
+            """
             nonlocal reference
             runs = [
-                _run_once(config, app_factory, engine, state)
+                _run_once(config, app_factory, engine, state, express)
                 for _ in range(repeat)
             ]
             best = min(runs, key=lambda r: float(r["wall_s"]))
@@ -147,29 +180,33 @@ def run_bench(repeat: int = DEFAULT_REPEAT) -> Dict[str, Any]:
                 ):
                     raise AssertionError(
                         f"{name}: non-deterministic repeat on "
-                        f"{engine}/{state}"
+                        f"{engine}/{state}/express={express}"
                     )
             if reference is None:
                 reference = best
                 entry["cycles"] = best["cycles"]
                 entry["events"] = best["events"]
-            elif (best["cycles"], best["events"]) != (
-                reference["cycles"], reference["events"]
+            elif best["cycles"] != reference["cycles"] or (
+                express == "off" and best["events"] != reference["events"]
             ):
                 raise AssertionError(
-                    f"{name}: {engine}/{state} disagrees — simulated "
-                    f"{best['cycles']} cycles / {best['events']} events, "
-                    f"expected {reference['cycles']} / {reference['events']}"
+                    f"{name}: {engine}/{state}/express={express} disagrees "
+                    f"— simulated {best['cycles']} cycles / "
+                    f"{best['events']} events, expected "
+                    f"{reference['cycles']} / {reference['events']}"
                 )
             wall = float(best["wall_s"])
             return {
                 "wall_s": round(wall, 4),
+                "events": best["events"],
                 "events_per_s": round(best["events"] / wall) if wall else 0,
                 "peak_pending": best["peak_pending"],
             }
 
         for engine in ENGINES:
-            entry[engine] = measure(engine, "coded")
+            cell = measure(engine, "coded")
+            cell.pop("events", None)  # identical across engines: top-level
+            entry[engine] = cell
         speedup = (
             entry["calendar"]["events_per_s"] / entry["heap"]["events_per_s"]
             if entry["heap"]["events_per_s"] else 0.0
@@ -183,6 +220,7 @@ def run_bench(repeat: int = DEFAULT_REPEAT) -> Dict[str, Any]:
         }
         for kernel in kernels.values():
             kernel.pop("peak_pending", None)  # engine property, not state
+            kernel.pop("events", None)
         entry["kernels"] = kernels
         kernel_speedup = (
             kernels["coded"]["events_per_s"] / kernels["obj"]["events_per_s"]
@@ -190,15 +228,31 @@ def run_bench(repeat: int = DEFAULT_REPEAT) -> Dict[str, Any]:
         )
         entry["kernel_speedup"] = round(kernel_speedup, 3)
         kernel_speedups.append(kernel_speedup)
+        # express-transit A/B on the default engine + kernels: fusion
+        # changes the event count (that is the optimisation), so the
+        # paired speedup is a same-host wall-clock ratio, and each mode
+        # records its own events so the fusion rate is visible
+        express = {
+            mode: measure("calendar", "coded", express=mode)
+            for mode in EXPRESS_MODES
+        }
+        entry["express"] = express
+        off_wall = float(express["off"]["wall_s"])
+        on_wall = float(express["on"]["wall_s"])
+        express_speedup = off_wall / on_wall if on_wall else 0.0
+        entry["express_speedup"] = round(express_speedup, 3)
+        express_speedups.append(express_speedup)
         workloads[name] = entry
     return {
         "schema": SCHEMA_VERSION,
         "engines": list(ENGINES),
         "state_models": list(STATE_MODELS),
+        "express_modes": list(EXPRESS_MODES),
         "repeat": repeat,
         "workloads": workloads,
         "geomean_speedup": round(_geomean(speedups), 3),
         "geomean_kernel_speedup": round(_geomean(kernel_speedups), 3),
+        "geomean_express_speedup": round(_geomean(express_speedups), 3),
     }
 
 
@@ -241,6 +295,16 @@ def check_against(
                     f"{entry['kernel_speedup']:.2f}x vs baseline "
                     f"{base_kernel:.2f}x (floor {kernel_floor:.2f}x)"
                 )
+        # express ratio gate (schema ≤2 baselines predate the express A/B)
+        base_express = base.get("express_speedup")
+        if base_express is not None and "express_speedup" in entry:
+            express_floor = base_express * (1.0 - threshold)
+            if entry["express_speedup"] < express_floor:
+                problems.append(
+                    f"{name}: express-transit speedup regressed — "
+                    f"{entry['express_speedup']:.2f}x vs baseline "
+                    f"{base_express:.2f}x (floor {express_floor:.2f}x)"
+                )
     for name in base_workloads:
         if name not in current["workloads"]:
             problems.append(f"{name}: in the baseline but no longer benched")
@@ -280,6 +344,27 @@ def format_report(payload: Dict[str, Any]) -> str:
         lines.append(
             f"geomean kernel speedup: "
             f"{payload['geomean_kernel_speedup']:.2f}x"
+        )
+    if any("express" in e for e in payload["workloads"].values()):
+        lines.append("")
+        lines.append(
+            f"{'express transit':20s} {'off wall':>10s} {'on wall':>10s} "
+            f"{'off ev':>10s} {'on ev':>10s} {'speedup':>8s}"
+        )
+        for name, entry in payload["workloads"].items():
+            express = entry.get("express")
+            if express is None:
+                continue
+            lines.append(
+                f"{name:20s} {express['off']['wall_s']:>9.4f}s "
+                f"{express['on']['wall_s']:>9.4f}s "
+                f"{express['off']['events']:>10d} "
+                f"{express['on']['events']:>10d} "
+                f"{entry['express_speedup']:>7.2f}x"
+            )
+        lines.append(
+            f"geomean express speedup: "
+            f"{payload['geomean_express_speedup']:.2f}x"
         )
     return "\n".join(lines)
 

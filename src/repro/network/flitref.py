@@ -300,14 +300,17 @@ class FlitNetwork:
             return False
         msg = worm.msg
         kind = msg.kind
+        # the pump drives the clock one cycle at a time, so the header's
+        # logical arrival is exactly ``now``; pass it explicitly, as the
+        # message-granularity fabric's express loop does
         if kind.snoops_switch_caches:
-            engine.snoop(msg)
+            engine.snoop(msg, now)
             return False
         if kind.switch_cacheable:
-            engine.try_deposit(msg)
+            engine.try_deposit(msg, now)
             return False
         if kind.interceptable:
-            served = engine.try_intercept(msg)
+            served = engine.try_intercept(msg, now)
             if served is None:
                 return False
             data, ready_at = served

@@ -27,6 +27,14 @@ Design (see DESIGN.md §9):
 * Scheduling earlier than the current window start (possible after a
   ``peek`` advanced the scan position past a quiet region) rewinds the
   scan position, so order stays exact.
+* ``head_bound``/``next_time`` is the O(1) lookahead used by the
+  fabric's express transit (DESIGN.md §12): a cached *lower bound* on
+  the head event's time, re-derived on every pop from the ring invariant
+  (a live head in the current year is the exact minimum; an exhausted
+  year bounds the rest by its end) and lowered on every earlier push.
+  Unlike ``peek`` it never scans — and therefore never advances the scan
+  position, so a lookahead-per-hop fast path cannot thrash the pop fast
+  path with rewinds.
 
 Cancellation is lazy, exactly as in the heap engine: cancelled events
 stay queued and are discarded by the :class:`~repro.sim.engine.Simulator`
@@ -55,6 +63,11 @@ MAX_WIDTH = 1 << 12
 #: at most this many events are sampled to re-estimate the width
 WIDTH_SAMPLE = 64
 
+#: ``head_bound`` of an empty queue: later than any schedulable cycle, so
+#: "queue empty" and "next event arbitrarily far away" read identically
+#: to the express-transit comparison (no None check on the hot path)
+FAR_FUTURE = 1 << 62
+
 
 class CalendarQueue:
     """Priority queue over events, ordered exactly by ``(time, seq)``."""
@@ -62,6 +75,7 @@ class CalendarQueue:
     __slots__ = (
         "_buckets", "_nbuckets", "_mask", "_width", "_size", "_cur", "_top",
         "_rewind_below", "_grow_above", "_shrink_below", "peak",
+        "head_bound",
     )
 
     def __init__(self) -> None:
@@ -71,6 +85,9 @@ class CalendarQueue:
         self._width: int = 16
         self._size: int = 0
         self.peak: int = 0  # high-water queue depth (incl. cancelled)
+        # lower bound on the head event's time, maintained by push/pop so
+        # the express fast path reads one attribute (see next_time)
+        self.head_bound: int = FAR_FUTURE
         self._spread(MIN_BUCKETS, self._width, [])
         self._position(0)
 
@@ -128,6 +145,9 @@ class CalendarQueue:
         size = self._size = self._size + 1
         if size > self.peak:
             self.peak = size
+        if time < self.head_bound:
+            # an earlier head invalidates the cached lookahead bound
+            self.head_bound = time
         if time < self._rewind_below:
             # earlier than the current window: rewind the scan so the new
             # event is served in exact (time, seq) order
@@ -145,10 +165,20 @@ class CalendarQueue:
         if not (bucket and bucket[0][0] < self._top):
             bucket = self._min_bucket()
         size = self._size = self._size - 1
-        event = heappop(bucket)[2]
+        entry = heappop(bucket)
+        # re-derive the lookahead bound from the ring invariant: any
+        # event earlier than _top lives in the served bucket, so a live
+        # head there is the exact new minimum — and an exhausted year
+        # bounds everything left by _top.  Either beats the popped time.
+        if bucket and bucket[0][0] < self._top:
+            self.head_bound = bucket[0][0]
+        elif size:
+            self.head_bound = self._top
+        else:
+            self.head_bound = FAR_FUTURE
         if size < self._shrink_below and size:
             self._resize(self._nbuckets // 2)
-        return event
+        return entry[2]
 
     def peek(self) -> Optional["Event"]:
         if self._size == 0:
@@ -158,6 +188,23 @@ class CalendarQueue:
             return bucket[0][2]
         bucket = self._min_bucket()
         return bucket[0][2]
+
+    def next_time(self) -> Optional[int]:
+        """O(1) lower bound on the head event's time (None when empty).
+
+        The protocol view of :attr:`head_bound` (which the fabric's
+        express transit reads directly as an attribute).  Exact whenever
+        the head lives in the current bucket (the common dense case);
+        otherwise the current year's end ``_top``, which may undershoot —
+        callers treat an undershoot as "cannot fuse", never the reverse,
+        so a conservative bound costs a missed fast path but never
+        correctness.  Unlike :meth:`peek` this never scans the ring, so a
+        lookahead per worm hop cannot drag the scan position forward and
+        force ``push`` rewinds.
+        """
+        if self._size == 0:
+            return None
+        return self.head_bound
 
     def __len__(self) -> int:
         return self._size

@@ -37,7 +37,7 @@ from heapq import heappop, heappush
 from typing import Any, Callable, Iterator, List, Optional, Tuple, Union
 
 from ..errors import SimulationError
-from .calqueue import CalendarQueue
+from .calqueue import FAR_FUTURE, CalendarQueue
 
 Callback = Callable[..., Any]
 
@@ -108,22 +108,46 @@ class HeapQueue:
     debugging of the calendar queue.
     """
 
-    __slots__ = ("_heap", "peak")
+    __slots__ = ("_heap", "peak", "head_bound")
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self.peak: int = 0  # high-water queue depth (incl. cancelled)
+        # lookahead bound for the fabric's express transit: exact for a
+        # heap (the head is _heap[0]); FAR_FUTURE when empty, so the
+        # express comparison needs no None check
+        self.head_bound: int = FAR_FUTURE
 
     def push(self, event: Event) -> None:
         heappush(self._heap, event)
+        if event.time < self.head_bound:
+            self.head_bound = event.time
         if len(self._heap) > self.peak:
             self.peak = len(self._heap)
 
     def pop(self) -> Optional[Event]:
-        return heappop(self._heap) if self._heap else None
+        heap = self._heap
+        if not heap:
+            return None
+        event = heappop(heap)
+        self.head_bound = heap[0].time if heap else FAR_FUTURE
+        return event
 
     def peek(self) -> Optional[Event]:
         return self._heap[0] if self._heap else None
+
+    def next_time(self) -> Optional[int]:
+        """O(1) bound on the head event's time (None when empty).
+
+        The protocol view of :attr:`head_bound` (which the fabric's
+        express transit reads directly as an attribute).  Exact for a
+        heap — the head is ``heap[0]`` — so the reference engine gives
+        the tightest possible lookahead.  The calendar queue maintains a
+        conservative bound instead (see
+        :meth:`~repro.sim.calqueue.CalendarQueue.next_time`); both honor
+        the same contract: never later than the true head time.
+        """
+        return self._heap[0].time if self._heap else None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -243,6 +267,8 @@ class Simulator:
             size = cal._size = cal._size + 1
             if size > cal.peak:
                 cal.peak = size
+            if time < cal.head_bound:
+                cal.head_bound = time
             if time < cal._rewind_below:
                 cal._position(time)
             if size > cal._grow_above:
@@ -409,10 +435,14 @@ class Simulator:
         Equivalent to ``run_while(lambda: not stopped)``, but the
         per-event predicate call collapses to one attribute load — this
         is the main loop of a :class:`~repro.system.machine.Machine`,
-        whose only stop condition is "every processor finished".
+        whose only stop condition is "every processor finished".  On the
+        default engine the calendar pop is inlined (the mirror of
+        :meth:`call_at`'s inlined push, same lockstep-with-calqueue
+        deal): one pop per event is the loop's hottest call edge.
         """
         queue = self._queue
         pop = queue.pop
+        cal = self._cal
         recycle = self._recycle
         free = self._free
         grc = _getrefcount
@@ -421,9 +451,31 @@ class Simulator:
         try:
             while not self._stop:
                 while True:
-                    event = pop()
-                    if event is None:
-                        return self.now
+                    if cal is None:
+                        event = pop()
+                        if event is None:
+                            return self.now
+                    else:
+                        # inlined CalendarQueue.pop — kept in lockstep
+                        # with repro.sim.calqueue
+                        size = cal._size
+                        if size == 0:
+                            return self.now
+                        bucket = cal._buckets[cal._cur]
+                        top = cal._top
+                        if not (bucket and bucket[0][0] < top):
+                            bucket = cal._min_bucket()
+                            top = cal._top
+                        cal._size = size = size - 1
+                        event = heappop(bucket)[2]
+                        if bucket and bucket[0][0] < top:
+                            cal.head_bound = bucket[0][0]
+                        elif size:
+                            cal.head_bound = top
+                        else:
+                            cal.head_bound = FAR_FUTURE
+                        if size and size < cal._shrink_below:
+                            cal._resize(cal._nbuckets // 2)
                     event._sim = None
                     if not event.cancelled:
                         break

@@ -1,8 +1,11 @@
-"""Hot-path purity rules: keep the PR 4/6 inlined regions allocation-free.
+"""Hot-path purity rules: keep the inlined hot regions allocation-free.
 
 PRs 4 and 6 hand-inlined the event engine, the calendar queue, the
 fabric's per-hop path, the coded cache kernels, and the CAESAR hooks for
-a ~1.6x combined speedup.  Nothing at runtime stops a refactor from
+a ~1.6x combined speedup; the express-transit PR fused the per-hop path
+into a quiescent-window loop (DESIGN.md §12) and added the queues'
+``head_bound``/``next_time`` lookahead to the same tier.  Nothing at
+runtime stops a refactor from
 quietly reintroducing a dict display, a closure, or an attribute-chain
 re-lookup into those regions — benchmarks only catch it after the fact.
 These rules are the static gate, scoped to the exact (module, function)
@@ -32,16 +35,17 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..framework import AnalysisContext, Finding, Rule, dotted_name, register
 
-#: module -> the Class.method regions PRs 4/6 inlined (the gate's scope)
+#: module -> the Class.method regions the perf PRs inlined (gate scope)
 HOT_REGIONS: Dict[str, FrozenSet[str]] = {
     "sim/engine.py": frozenset({
         "Simulator.call_at", "Simulator.step", "Simulator.run",
         "Simulator.run_while", "Simulator.run_until_stop",
-        "Simulator._recycle",
+        "Simulator._recycle", "HeapQueue.push", "HeapQueue.pop",
+        "HeapQueue.next_time",
     }),
     "sim/calqueue.py": frozenset({
         "CalendarQueue.push", "CalendarQueue.pop", "CalendarQueue.peek",
-        "CalendarQueue._min_bucket",
+        "CalendarQueue._min_bucket", "CalendarQueue.next_time",
     }),
     "network/fabric.py": frozenset({
         "Fabric.inject", "Fabric._arrive", "Fabric._forward",

@@ -310,6 +310,10 @@ class SanitizedFabric(Fabric):
         super().__init__(*args, **kwargs)
         self._san = sanitizer
         self._ledger: Dict[int, Message] = {}
+        # the base fabric records the per-hop route trace only when a
+        # tracer is attached; sanitized runs force it on so violation
+        # reports and the end-of-run audit can show where a worm has been
+        self._record_route = True
 
     def in_flight(self) -> List[Message]:
         return list(self._ledger.values())

@@ -43,6 +43,24 @@ def test_run_bench_measures_state_kernels(tiny_workloads):
     assert "geomean kernel speedup" in report
 
 
+def test_run_bench_measures_express_transit(tiny_workloads):
+    payload = bench.run_bench(repeat=1)
+    assert payload["express_modes"] == list(bench.EXPRESS_MODES)
+    entry = payload["workloads"]["tiny"]
+    for mode in bench.EXPRESS_MODES:
+        cell = entry["express"][mode]
+        assert cell["wall_s"] >= 0 and cell["events"] > 0
+    # fusion only removes events, never adds them
+    assert entry["express"]["on"]["events"] <= entry["express"]["off"]["events"]
+    # the engine A/B section runs with express off, so its events count
+    # is the unfused one
+    assert entry["events"] == entry["express"]["off"]["events"]
+    assert entry["express_speedup"] > 0
+    assert payload["geomean_express_speedup"] == entry["express_speedup"]
+    report = bench.format_report(payload)
+    assert "geomean express speedup" in report
+
+
 def test_check_against_accepts_itself(tiny_workloads):
     payload = bench.run_bench(repeat=1)
     assert bench.check_against(payload, payload) == []
@@ -69,6 +87,13 @@ def test_check_against_flags_timing_drift_and_regression(tiny_workloads):
     problems = bench.check_against(slow_kernel, payload, threshold=0.25)
     assert any("kernel speedup regressed" in p for p in problems)
 
+    slow_express = json.loads(json.dumps(payload))
+    slow_express["workloads"]["tiny"]["express_speedup"] = (
+        payload["workloads"]["tiny"]["express_speedup"] * 0.5
+    )
+    problems = bench.check_against(slow_express, payload, threshold=0.25)
+    assert any("express-transit speedup regressed" in p for p in problems)
+
 
 def test_check_against_tolerates_schema1_baseline(tiny_workloads):
     # a schema-1 baseline has no kernels section; the kernel gate must
@@ -78,6 +103,17 @@ def test_check_against_tolerates_schema1_baseline(tiny_workloads):
     for entry in old["workloads"].values():
         entry.pop("kernels", None)
         entry.pop("kernel_speedup", None)
+    assert bench.check_against(payload, old) == []
+
+
+def test_check_against_tolerates_schema2_baseline(tiny_workloads):
+    # a schema-2 baseline predates the express A/B; the express gate
+    # must simply not fire rather than KeyError
+    payload = bench.run_bench(repeat=1)
+    old = json.loads(json.dumps(payload))
+    for entry in old["workloads"].values():
+        entry.pop("express", None)
+        entry.pop("express_speedup", None)
     assert bench.check_against(payload, old) == []
 
 

@@ -1,0 +1,249 @@
+"""Differential tests: express transit (event fusion) vs plain routing.
+
+The express-transit PR (DESIGN.md §12) lets a worm's remaining hops be
+processed inline — without scheduling per-hop events — whenever the
+event queue's next pending time is provably later than the worm's
+worst-case transit.  The optimisation must be *invisible*: with
+``REPRO_EXPRESS=off`` every hop goes through the event queue exactly as
+before, and the two modes must agree on every timestamp, statistic, and
+trace byte.  Only ``events_fired`` may differ (fusion removes events;
+that is the point).
+
+These tests hold the two modes together:
+
+* full machines run every paper app under both modes and must agree on
+  cycle counts and every statistics counter (``events_fired`` excluded);
+* the MSI/MESI × switch-cache on/off configuration matrix agrees too,
+  so fusion is sound with and without mid-route CAESAR intercepts;
+* a traced run must produce a bit-identical tracer event stream;
+* a seeded fuzzer injects bursty cross-traffic that forces mid-route
+  bailouts and compares every per-message timestamp;
+* targeted tests pin the two fusion mechanisms (mid-route bailout on a
+  planted event; delivery fusion's clock warp on a quiescent queue).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.fabric import (
+    EXPRESS_ENV,
+    EXPRESS_MODES,
+    Fabric,
+    express_enabled,
+)
+from repro.network.message import Message, MsgKind, flits_for
+from repro.network.topology import BminTopology
+from repro.sim.engine import Simulator
+from repro.trace import Tracer
+
+SIX_APPS = ("FWA", "GS", "GE", "MM", "SOR", "FFT")
+
+
+# ----------------------------------------------------------------------
+# mode selection
+# ----------------------------------------------------------------------
+def test_express_env_selection(monkeypatch):
+    monkeypatch.delenv(EXPRESS_ENV, raising=False)
+    assert express_enabled()  # fusion is the default
+    for mode in EXPRESS_MODES:
+        monkeypatch.setenv(EXPRESS_ENV, mode)
+        assert express_enabled() == (mode == "on")
+    monkeypatch.setenv(EXPRESS_ENV, "fast")
+    with pytest.raises(ConfigError):
+        express_enabled()
+
+
+def test_horizon_disables_fusion(monkeypatch):
+    # a horizon plants a stop event the fabric cannot see coming, so a
+    # bounded simulator must never fuse past it
+    monkeypatch.setenv(EXPRESS_ENV, "on")
+    sim = Simulator(horizon=10_000)
+    fabric = Fabric(sim, BminTopology(4))
+    assert not fabric._express
+    assert Fabric(Simulator(), BminTopology(4))._express
+
+
+# ----------------------------------------------------------------------
+# full machines: the six paper apps, both modes
+# ----------------------------------------------------------------------
+def _machine_fingerprint(config, app_name, tracer=None):
+    """Every machine observable except ``events_fired`` (mode-dependent)."""
+    from repro.experiments.common import make_app
+    from repro.system.machine import Machine
+
+    machine = Machine(config, sanitize=False, tracer=tracer)
+    stats = machine.run(make_app(app_name, "quick"))
+    assert machine.check_coherence() == []
+    return (
+        stats.exec_time,
+        machine.sim.now,
+        dict(stats.read_counts),
+        tuple(stats.per_node_reads),
+        machine.fabric.stats.msgs_delivered,
+        machine.fabric.stats.switch_hits,
+        dict(machine.fabric.stats.hits_by_stage),
+        machine.pool._next_id,  # the full message-id stream length
+    )
+
+
+@pytest.mark.parametrize("app_name", SIX_APPS)
+def test_machine_identical_across_express_modes(app_name, monkeypatch):
+    from repro.system.presets import switch_cache_config
+
+    results = {}
+    for mode in EXPRESS_MODES:
+        monkeypatch.setenv(EXPRESS_ENV, mode)
+        results[mode] = _machine_fingerprint(switch_cache_config(4), app_name)
+    assert results["on"] == results["off"]
+
+
+@pytest.mark.parametrize("protocol", ("msi", "mesi"))
+@pytest.mark.parametrize("preset", ("base", "sc"))
+def test_config_matrix_identical_across_express_modes(
+    protocol, preset, monkeypatch
+):
+    # with switch caches a worm can be intercepted mid-route (the fused
+    # loop must bail out exactly where the evented path would serve it);
+    # without them the fused loop runs pure grant arithmetic end to end
+    from repro.system.presets import base_config, switch_cache_config
+
+    make = base_config if preset == "base" else switch_cache_config
+    results = {}
+    for mode in EXPRESS_MODES:
+        monkeypatch.setenv(EXPRESS_ENV, mode)
+        results[mode] = _machine_fingerprint(
+            make(4, protocol=protocol), "GS"
+        )
+    assert results["on"] == results["off"]
+
+
+def test_trace_stream_identical_across_express_modes(monkeypatch):
+    # the fused loop emits the same tracer instants at the same
+    # timestamps in the same order — byte-identical observability
+    import itertools
+
+    from repro.coherence import messages
+    from repro.system.presets import switch_cache_config
+
+    streams = {}
+    for mode in EXPRESS_MODES:
+        monkeypatch.setenv(EXPRESS_ENV, mode)
+        # transaction ids (used as trace flow ids) come from a global
+        # counter; restart it so the two runs' streams are comparable
+        monkeypatch.setattr(messages, "_txn_ids", itertools.count())
+        tracer = Tracer()
+        _machine_fingerprint(switch_cache_config(4), "GS", tracer=tracer)
+        streams[mode] = tracer.events
+    assert streams["on"] == streams["off"]
+
+
+# ----------------------------------------------------------------------
+# fabric-level fuzzing: bursty cross-traffic forces mid-route bailouts
+# ----------------------------------------------------------------------
+def _run_fuzzed_fabric(seed, n=16, bursts=40):
+    """One seeded bursty run; returns per-message timing + fabric stats.
+
+    Bursts inject several worms in a tight window, so the queue's next
+    pending time repeatedly lands *inside* other worms' transit windows:
+    the fused loop must bail out mid-route and fall back to per-hop
+    events, interleaving with the cross-traffic exactly as the evented
+    path would.
+    """
+    rng = random.Random(seed)
+    sim = Simulator()
+    fabric = Fabric(sim, BminTopology(n))
+    log = []
+    for node in range(n):
+        fabric.attach_node(
+            node, lambda m, nid=node: log.append((nid, m.id, sim.now))
+        )
+
+    msgs = []
+    when = 0
+    next_id = 0
+    for _ in range(bursts):
+        when += rng.randrange(0, 48)
+        for _ in range(rng.randrange(1, 5)):
+            src = rng.randrange(n)
+            dst = rng.randrange(n)
+            if dst == src:
+                dst = (src + 1) % n
+            kind = rng.choice(
+                (MsgKind.READ, MsgKind.DATA_S, MsgKind.INV, MsgKind.INV_ACK)
+            )
+            msg = Message(
+                kind, src, dst, addr=rng.randrange(64) * 64,
+                flits=flits_for(kind, 64),
+            )
+            msg.id = next_id
+            next_id += 1
+            msgs.append(msg)
+            sim.call_at(when + rng.randrange(0, 8), fabric.inject, msg)
+    sim.run()
+
+    stats = fabric.stats
+    return (
+        tuple(log),
+        tuple((m.id, m.injected_at, m.delivered_at) for m in msgs),
+        sim.now,
+        (stats.msgs_injected, stats.msgs_delivered, stats.flits_injected),
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzzed_cross_traffic_identical_across_express_modes(
+    seed, monkeypatch
+):
+    results = {}
+    for mode in EXPRESS_MODES:
+        monkeypatch.setenv(EXPRESS_ENV, mode)
+        results[mode] = _run_fuzzed_fabric(seed)
+    assert results["on"] == results["off"]
+
+
+# ----------------------------------------------------------------------
+# the two fusion mechanisms, pinned
+# ----------------------------------------------------------------------
+def _lone_worm(monkeypatch, mode, planted_at=None):
+    monkeypatch.setenv(EXPRESS_ENV, mode)
+    sim = Simulator()
+    fabric = Fabric(sim, BminTopology(16))
+    delivered = []
+    for node in range(16):
+        fabric.attach_node(
+            node, lambda m, nid=node: delivered.append((nid, sim.now))
+        )
+    if planted_at is not None:
+        sim.call_at(planted_at, lambda: None)
+    msg = Message(MsgKind.READ, 0, 13, 0x40, flits_for(MsgKind.READ, 64))
+    fabric.inject(msg)
+    sim.run()
+    return sim, msg, delivered
+
+
+def test_quiescent_queue_fuses_to_delivery(monkeypatch):
+    # with nothing else pending the whole route — including the final
+    # delivery — collapses into the inject call: the one fired event is
+    # the injection itself, and the clock warps to the delivery time
+    off_sim, off_msg, off_log = _lone_worm(monkeypatch, "off")
+    on_sim, on_msg, on_log = _lone_worm(monkeypatch, "on")
+    assert on_msg.delivered_at == off_msg.delivered_at
+    assert on_log == off_log
+    assert on_sim.now == off_sim.now == on_msg.delivered_at
+    assert on_sim.events_fired < off_sim.events_fired
+
+
+def test_planted_event_forces_mid_route_bailout(monkeypatch):
+    # an event planted inside the worm's transit window caps the fused
+    # loop: hops before it fuse, the rest go through the queue — and the
+    # observable timing is unchanged
+    off_sim, off_msg, off_log = _lone_worm(monkeypatch, "off", planted_at=9)
+    on_sim, on_msg, on_log = _lone_worm(monkeypatch, "on", planted_at=9)
+    assert on_msg.delivered_at == off_msg.delivered_at
+    assert on_log == off_log
+    assert on_sim.now == off_sim.now
+    # the bailout re-enters the event queue: at least the planted event
+    # plus one per-hop event fire alongside the injection
+    assert on_sim.events_fired > 2

@@ -43,8 +43,18 @@ class TestBasicDelivery:
         with pytest.raises(NetworkError):
             send(fabric, MsgKind.READ, 3, 3)
 
+    def test_route_trace_not_recorded_by_default(self):
+        # the per-hop trace append is pure hot-path overhead when nobody
+        # reads it: with no tracer (and no sanitizer) it stays empty
+        sim, fabric, _inbox = make_fabric()
+        msg = send(fabric, MsgKind.READ, 2, 13)
+        sim.run()
+        assert msg.trace == []
+        assert msg.route == fabric.topo.path(2, 13)
+
     def test_trace_matches_topology_path(self):
         sim, fabric, _inbox = make_fabric()
+        fabric._record_route = True  # as an attached tracer or SCSan would
         msg = send(fabric, MsgKind.READ, 2, 13)
         sim.run()
         assert msg.trace == fabric.topo.path(2, 13)

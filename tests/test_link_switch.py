@@ -1,5 +1,7 @@
 """Unit tests for links and the crossbar switch timing model."""
 
+import random
+
 import pytest
 
 from repro.errors import NetworkError
@@ -104,3 +106,106 @@ class TestSwitch:
         grant, _h, tail = sw.forward(9, 1, header_at=10)
         assert grant == 14
         assert tail == 14 + 36
+
+
+class TestGrantLockstep:
+    """Grant arithmetic lives in hand-inlined copies besides Link.reserve.
+
+    ``Fabric._arrive`` inlines the reservation once for the evented hop
+    path and reuses the same block for the express fused loop (fabric.py
+    keeps them literally identical; DESIGN.md §12).  These property
+    tests drive fuzzed (flits, earliest, free_at) streams through a real
+    fabric route and through reference ``Link.reserve`` calls with the
+    same tuples, asserting identical (grant, tail_done) timing and
+    identical timeline counters — so the copies cannot drift apart
+    silently.
+    """
+
+    SWITCH_DELAY = 4
+    CYCLES_PER_FLIT = 4
+
+    def _reference(self, worms, eject_busy_until=0):
+        """Chained Link.reserve over the same (flits, inject_at) stream.
+
+        ``free_at`` on the ejection link is fuzzed two ways: an initial
+        planted occupancy (``eject_busy_until``) and, for every later
+        worm, the accumulated occupancy left by its predecessors — the
+        same contended values the fabric's inlined copies see.
+        """
+        sim = Simulator()
+        inj = Link(sim, "ref-inj", cycles_per_flit=self.CYCLES_PER_FLIT)
+        ej = Link(sim, "ref-ej", cycles_per_flit=self.CYCLES_PER_FLIT)
+        ej.timeline._free_at = eject_busy_until
+        timings = []
+        for flits, inject_at in worms:
+            g_inj, _ = inj.reserve(flits, earliest=inject_at)
+            header_at = g_inj + self.CYCLES_PER_FLIT
+            grant, tail = ej.reserve(
+                flits, earliest=header_at + self.SWITCH_DELAY
+            )
+            timings.append((g_inj, grant, tail))
+        return timings, self._counters(inj), self._counters(ej)
+
+    @staticmethod
+    def _counters(link):
+        tl = link.timeline
+        return (
+            tl._free_at, tl.busy_cycles, tl.reservations, tl.queued_cycles,
+            link.msgs, link.flits,
+        )
+
+    def _fabric_run(self, worms, mode, monkeypatch, eject_busy_until=0):
+        """The same stream through a real single-switch fabric route."""
+        from repro.network.fabric import Fabric
+        from repro.network.message import Message, MsgKind
+        from repro.network.topology import BminTopology
+
+        monkeypatch.setenv("REPRO_EXPRESS", mode)
+        sim = Simulator()
+        fabric = Fabric(sim, BminTopology(4))
+        for node in range(4):
+            fabric.attach_node(node, lambda m: None)
+        eject = fabric._route_objs[(0, 1)][-1][1]
+        eject.timeline._free_at = eject_busy_until
+        msgs = []
+        for flits, inject_at in worms:
+            msg = Message(MsgKind.READ, 0, 1, 0x40, flits)
+            msgs.append(msg)
+            sim.call_at(inject_at, fabric.inject, msg)
+        sim.run()
+        inj = fabric._inject_links[0]
+        return (
+            [(m.injected_at, m.delivered_at - m.flits * self.CYCLES_PER_FLIT,
+              m.delivered_at) for m in msgs],
+            self._counters(inj),
+            self._counters(eject),
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("mode", ("off", "on"))
+    def test_fabric_inline_matches_link_reserve(self, seed, mode, monkeypatch):
+        rng = random.Random(seed)
+        when = 0
+        worms = []
+        for _ in range(30):
+            # bursty gaps: frequent overlap keeps the ejection link
+            # contended, so the grant > request_at (queued worm) branch
+            # and the idle grant == request_at branch both run
+            when += rng.randrange(0, 40)
+            worms.append((rng.randrange(1, 12), when))
+        busy = rng.randrange(0, 64)  # planted initial occupancy
+        want_timing, want_inj, want_ej = self._reference(worms, busy)
+        got_timing, got_inj, got_ej = self._fabric_run(
+            worms, mode, monkeypatch, busy
+        )
+        assert got_timing == want_timing
+        assert got_inj == want_inj
+        assert got_ej == want_ej
+
+    def test_back_to_back_worms_chain_identically(self, monkeypatch):
+        # all injected at cycle 0: the inject link serializes them and the
+        # ejection link sees strictly ordered, contended requests
+        worms = [(f, 0) for f in (1, 9, 2, 9, 1, 5)]
+        want = self._reference(worms)
+        for mode in ("off", "on"):
+            assert self._fabric_run(worms, mode, monkeypatch) == want

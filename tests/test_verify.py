@@ -144,7 +144,9 @@ class TestSanitizerMutations:
 
     def test_stale_switch_version_detected(self, monkeypatch):
         """A switch cache that ignores INV snoops retains stale data."""
-        monkeypatch.setattr(CaesarEngine, "snoop", lambda self, msg: None)
+        monkeypatch.setattr(
+            CaesarEngine, "snoop", lambda self, msg, now=-1: None
+        )
         machine = Machine(_sc_config(), sanitize=True)
         with pytest.raises(SanitizerError, match="switch"):
             machine.run(ScriptedApp(_reader_writer_scripts(), home=3))
