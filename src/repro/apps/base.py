@@ -12,12 +12,25 @@ Operation vocabulary (consumed by :class:`repro.node.processor.Processor`):
 
 ``('r', addr)`` ``('w', addr)`` ``('work', cycles)``
 ``('barrier', id)`` ``('lock', id)`` ``('unlock', id)``
+
+Applications may instead describe their streams as *macro ops* —
+the elementary vocabulary plus ``('rr', base, stride, count)`` /
+``('wr', base, stride, count)`` stride runs and
+``('loop', iters, body)`` fixed-slot loops — which the op-stream
+compiler (:mod:`repro.apps.opstream`, DESIGN.md §13) lowers to
+integer-coded superops; the elementary ``ops`` stream is then derived
+by expansion, so both front-end modes execute the same stream by
+construction.
 """
 
 from __future__ import annotations
 
 import abc
+import zlib
 from typing import Dict, Iterator, Tuple
+
+from ..errors import ConfigError
+from .opstream import expand_macro
 
 Op = Tuple
 
@@ -56,9 +69,26 @@ class Application(abc.ABC):
     def setup(self, machine) -> None:
         """Allocate shared structures in ``machine.space``."""
 
-    @abc.abstractmethod
     def ops(self, proc_id: int, machine) -> Iterator[Op]:
-        """Yield the operation stream for one processor."""
+        """Yield the elementary operation stream for one processor.
+
+        Subclasses override either this or :meth:`macro_ops`; the
+        default of each derives from the other, so the two views always
+        agree op for op.
+        """
+        if type(self).macro_ops is Application.macro_ops:
+            raise ConfigError(
+                f"{type(self).__name__} overrides neither ops() nor macro_ops()"
+            )
+        return expand_macro(self.macro_ops(proc_id, machine))
+
+    def macro_ops(self, proc_id: int, machine) -> Iterator[Op]:
+        """Yield the macro-op stream for one processor (see module doc)."""
+        if type(self).ops is Application.ops:
+            raise ConfigError(
+                f"{type(self).__name__} overrides neither ops() nor macro_ops()"
+            )
+        return self.ops(proc_id, machine)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"
@@ -75,8 +105,11 @@ class BarrierSequencer:
     def __init__(self, app_name: str) -> None:
         # ids only need to be unique within one machine run; hash the app
         # name into the id space so two apps never collide in tests that
-        # run multiple apps on one machine
-        self._base = abs(hash(app_name)) % 1000 * 1_000_000
+        # run multiple apps on one machine.  crc32, not builtin hash():
+        # string hashing is salted per process (PYTHONHASHSEED), so
+        # hash() would make barrier ids — and every artifact that
+        # records them — differ across processes (lint rule N).
+        self._base = zlib.crc32(app_name.encode()) % 1000 * 1_000_000
         self._next = 0
 
     def next(self) -> int:

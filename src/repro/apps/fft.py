@@ -16,6 +16,7 @@ from typing import Iterator
 from ..errors import ConfigError
 from ..system.addressing import Matrix
 from .base import Application, BarrierSequencer, Op, block_partition, owner_of_row
+from .opstream import row_pitch
 
 
 class SixStepFFT(Application):
@@ -38,21 +39,30 @@ class SixStepFFT(Application):
 
     def _row_fft(self, matrix, i: int) -> Iterator[Op]:
         side = self.side
-        for j in range(side):
-            yield ("r", matrix.addr(i, j))
+        base = matrix._row_base[i]
+        eb = matrix.elem_bytes
+        yield ("rr", base, eb, side)
         yield ("work", self.work_scale * side * max(1, int(math.log2(side))))
-        for j in range(side):
-            yield ("w", matrix.addr(i, j))
+        yield ("wr", base, eb, side)
 
     def _transpose(self, src, dst, my_rows) -> Iterator[Op]:
-        # read columns of src (remote rows, each element read once),
-        # write my rows of dst
+        # read columns of src (remote rows, each element read once,
+        # striding down the column by the row pitch), write my rows of
+        # dst — a two-slot loop per output row
+        side = self.side
+        eb = src.elem_bytes
+        src_bases, dst_bases = src._row_base, dst._row_base
+        pitch = row_pitch(src)
         for i in my_rows:
-            for j in range(self.side):
-                yield ("r", src.addr(j, i))
-                yield ("w", dst.addr(i, j))
+            if pitch:
+                yield ("loop", side, (("r", src_bases[0] + i * eb, pitch),
+                                      ("w", dst_bases[i], eb)))
+            else:  # unevenly spaced rows: elementary fallback
+                for j in range(side):
+                    yield ("r", src_bases[j] + i * eb)
+                    yield ("w", dst_bases[i] + j * eb)
 
-    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+    def macro_ops(self, proc_id: int, machine) -> Iterator[Op]:
         barriers = BarrierSequencer(self.name)
         my_rows = block_partition(self.side, proc_id, machine.num_procs)
         # step 1: transpose src -> dst

@@ -29,19 +29,24 @@ class FloydWarshall(Application):
             row_home=lambda i: machine.node_of_proc(owner_of_row(i, n, procs)),
         )
 
-    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+    def macro_ops(self, proc_id: int, machine) -> Iterator[Op]:
         n = self.n
         barriers = BarrierSequencer(self.name)
         my_rows = block_partition(n, proc_id, machine.num_procs)
+        bases = self.d._row_base
+        eb = self.d.elem_bytes
+        work = ("work", self.work_per_elem * n)
         for k in range(n):
             yield ("barrier", barriers.next())
+            k_base = bases[k]
             for i in my_rows:
                 if i == k:
                     continue
-                yield ("r", self.d.addr(i, k))  # d[i][k]: in my own band
-                for j in range(n):
-                    yield ("r", self.d.addr(k, j))  # row k: read by all
-                    yield ("r", self.d.addr(i, j))
-                    yield ("w", self.d.addr(i, j))
-                yield ("work", self.work_per_elem * n)
+                base = bases[i]
+                yield ("r", base + k * eb)  # d[i][k]: in my own band
+                # the j loop: row k (read by all), then row i read+write
+                yield ("loop", n, (("r", k_base, eb),
+                                   ("r", base, eb),
+                                   ("w", base, eb)))
+                yield work
         yield ("barrier", barriers.next())

@@ -32,23 +32,19 @@ class GaussianElimination(Application):
             row_home=lambda i: machine.node_of_proc(i % procs),
         )
 
-    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+    def macro_ops(self, proc_id: int, machine) -> Iterator[Op]:
         n, procs = self.n, machine.num_procs
         barriers = BarrierSequencer(self.name)
         my_rows = set(cyclic_partition(n, proc_id, procs))
-        # Matrix.addr inlined: this generator resumes once per simulated
-        # op, so the per-element address arithmetic runs on locals
         row_base = self.a._row_base
         eb = self.a.elem_bytes
         work = self.work_per_elem
         for k in range(n - 1):
             pivot_base = row_base[k]
-            # the pivot owner normalizes row k
+            pivot_k = pivot_base + k * eb
+            # the pivot owner normalizes row k: read-then-write sweep
             if k in my_rows:
-                for j in range(k, n):
-                    a = pivot_base + j * eb
-                    yield ("r", a)
-                    yield ("w", a)
+                yield ("loop", n - k, (("r", pivot_k, eb), ("w", pivot_k, eb)))
                 yield ("work", work * (n - k))
             yield ("barrier", barriers.next())
             # everyone eliminates column k from their rows below k
@@ -57,10 +53,9 @@ class GaussianElimination(Application):
                     continue
                 base = row_base[i]
                 yield ("r", base + k * eb)
-                for j in range(k, n):
-                    yield ("r", pivot_base + j * eb)  # pivot row: read by all
-                    a = base + j * eb
-                    yield ("r", a)
-                    yield ("w", a)
+                # pivot row (read by all) against my row i, element-wise
+                yield ("loop", n - k, (("r", pivot_k, eb),
+                                       ("r", base + k * eb, eb),
+                                       ("w", base + k * eb, eb)))
                 yield ("work", work * (n - k))
         yield ("barrier", barriers.next())

@@ -31,28 +31,28 @@ class GramSchmidt(Application):
             row_home=lambda i: machine.node_of_proc(i % procs),
         )
 
-    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+    def macro_ops(self, proc_id: int, machine) -> Iterator[Op]:
         n, length = self.n_vectors, self.length
         procs = machine.num_procs
         barriers = BarrierSequencer(self.name)
         mine = set(cyclic_partition(n, proc_id, procs))
+        bases = self.v._row_base
+        eb = self.v.elem_bytes
+        work = ("work", self.work_per_elem * length)
         for k in range(n):
+            k_base = bases[k]
             if k in mine:
                 # normalize vector k: dot(v_k, v_k) then scale
-                for j in range(length):
-                    yield ("r", self.v.addr(k, j))
-                yield ("work", self.work_per_elem * length)
-                for j in range(length):
-                    yield ("w", self.v.addr(k, j))
+                yield ("rr", k_base, eb, length)
+                yield work
+                yield ("wr", k_base, eb, length)
             yield ("barrier", barriers.next())
             # orthogonalize my later vectors against v_k (read by all)
             for i in range(k + 1, n):
                 if i not in mine:
                     continue
-                for j in range(length):
-                    yield ("r", self.v.addr(k, j))
-                    yield ("r", self.v.addr(i, j))
-                yield ("work", self.work_per_elem * length)
-                for j in range(length):
-                    yield ("w", self.v.addr(i, j))
+                base = bases[i]
+                yield ("loop", length, (("r", k_base, eb), ("r", base, eb)))
+                yield work
+                yield ("wr", base, eb, length)
         yield ("barrier", barriers.next())

@@ -12,6 +12,7 @@ from typing import Iterator
 
 from ..system.addressing import Matrix
 from .base import Application, Op, block_partition, owner_of_row
+from .opstream import row_pitch
 
 
 class MatrixMultiply(Application):
@@ -30,13 +31,26 @@ class MatrixMultiply(Application):
         # B is globally shared: interleave its blocks across all memories
         self.b = Matrix(machine.space, n, n)
 
-    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+    def macro_ops(self, proc_id: int, machine) -> Iterator[Op]:
         n = self.n
         my_rows = block_partition(n, proc_id, machine.num_procs)
+        # the k loop is a fixed two-slot pattern: A walks row i element
+        # by element, B walks column j row by row (stride = row pitch)
+        a_bases, b_bases = self.a._row_base, self.b._row_base
+        eb = self.a.elem_bytes
+        b_pitch = row_pitch(self.b)
+        b_col0 = b_bases[0]
+        work = ("work", self.work_per_mac * n)
         for i in my_rows:
+            a_base = a_bases[i]
+            c_base = self.c._row_base[i]
             for j in range(n):
-                for k in range(n):
-                    yield ("r", self.a.addr(i, k))
-                    yield ("r", self.b.addr(k, j))
-                yield ("work", self.work_per_mac * n)
-                yield ("w", self.c.addr(i, j))
+                if b_pitch:
+                    yield ("loop", n, (("r", a_base, eb),
+                                       ("r", b_col0 + j * eb, b_pitch)))
+                else:  # unevenly spaced B rows: elementary fallback
+                    for k in range(n):
+                        yield ("r", a_base + k * eb)
+                        yield ("r", b_bases[k] + j * eb)
+                yield work
+                yield ("w", c_base + j * eb)

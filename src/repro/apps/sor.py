@@ -30,9 +30,11 @@ class RedBlackSOR(Application):
             row_home=lambda i: machine.node_of_proc(owner_of_row(i, n, procs)),
         )
 
-    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+    def macro_ops(self, proc_id: int, machine) -> Iterator[Op]:
         n = self.n
-        grid = self.grid
+        bases = self.grid._row_base
+        eb = self.grid.elem_bytes
+        step = 2 * eb  # red-black: every other point of the row
         barriers = BarrierSequencer(self.name)
         my_rows = block_partition(n, proc_id, machine.num_procs)
         for _sweep in range(self.iterations):
@@ -40,11 +42,14 @@ class RedBlackSOR(Application):
                 for i in my_rows:
                     if i == 0 or i == n - 1:
                         continue
-                    for j in range(1 + (i + color) % 2, n - 1, 2):
-                        yield ("r", grid.addr(i - 1, j))
-                        yield ("r", grid.addr(i + 1, j))
-                        yield ("r", grid.addr(i, j - 1))
-                        yield ("r", grid.addr(i, j + 1))
-                        yield ("work", self.work_per_point)
-                        yield ("w", grid.addr(i, j))
+                    j0 = 1 + (i + color) % 2
+                    count = len(range(j0, n - 1, 2))
+                    mid = bases[i] + j0 * eb
+                    yield ("loop", count,
+                           (("r", bases[i - 1] + j0 * eb, step),
+                            ("r", bases[i + 1] + j0 * eb, step),
+                            ("r", mid - eb, step),
+                            ("r", mid + eb, step),
+                            ("work", self.work_per_point),
+                            ("w", mid, step)))
                 yield ("barrier", barriers.next())

@@ -38,21 +38,18 @@ class SharedReaders(Application):
             machine.space, self.nbytes // 8, home=0, interleave=False
         )
 
-    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+    def macro_ops(self, proc_id: int, machine) -> Iterator[Op]:
         barriers = BarrierSequencer(self.name)
         n_words = self.nbytes // 8
         step = self.stride // 8 or 1
-        # Vector.addr inlined: the generator resumes once per simulated
-        # op, so the address arithmetic runs on locals
+        count = len(range(0, n_words, step))
         base = self.data.base
-        eb = self.data.elem_bytes
+        stride = step * self.data.elem_bytes
         if proc_id == 0:
-            for i in range(0, n_words, step):
-                yield ("w", base + i * eb)
+            yield ("wr", base, stride, count)
         yield ("barrier", barriers.next())
         for _round in range(self.rounds):
-            for i in range(0, n_words, step):
-                yield ("r", base + i * eb)
+            yield ("rr", base, stride, count)
             yield ("barrier", barriers.next())
 
 
@@ -158,11 +155,11 @@ class PrivateWork(Application):
             for p in range(machine.num_procs)
         ]
 
-    def ops(self, proc_id: int, machine) -> Iterator[Op]:
+    def macro_ops(self, proc_id: int, machine) -> Iterator[Op]:
         mine = self.arrays[proc_id]
         n_words = self.nbytes // 8
+        base, eb = mine.base, mine.elem_bytes
         for _round in range(self.rounds):
-            for i in range(n_words):
-                yield ("r", mine.addr(i))
-                yield ("w", mine.addr(i))
-                yield ("work", 2)
+            yield ("loop", n_words, (("r", base, eb),
+                                     ("w", base, eb),
+                                     ("work", 2)))

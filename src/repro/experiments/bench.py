@@ -31,6 +31,19 @@ engine and kernel sections run with express *off*, so their cross-engine
 events-identity assert keeps full strength and their speedup ratios stay
 comparable to pre-express baselines.
 
+Since schema 4 the payload also carries a top-level ``ops`` section: a
+paired front-end A/B over the full six-app workload set (FWA, GS, GE,
+MM, SOR, FFT on the 4-node base system) measuring the compiled
+operation streams (``REPRO_OPS=compiled`` — integer-coded op arrays
+with stride superops, DESIGN.md §13) against the ``REPRO_OPS=gen``
+generator reference.  The compiled front end is bit-identical by
+construction, so **both** cycles and events must match across modes —
+the strongest identity in the file — and the paired ``ops_speedup`` is
+an events/s ratio on the same host.  Engine, kernel and express cells
+all run with the compiled front end (the default), so their numbers
+stay comparable to schema-3 baselines only through the ratio gates,
+never the absolute column.
+
 The result is written to ``BENCH_engine.json`` at the repo root, seeding
 the perf trajectory that future optimisation PRs extend.
 
@@ -57,20 +70,28 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..apps.opstream import OPS_ENV
 from ..apps.synthetic import PingPong, SharedReaders
 from ..cache.states import STATE_ENV
 from ..network.fabric import EXPRESS_ENV
 from ..sim.engine import ENGINE_ENV
 from ..system.config import SystemConfig
 from ..system.machine import Machine
-from .common import make_app
+from .common import APP_ORDER, make_app
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 ENGINES = ("heap", "calendar")
 #: state-kernel A/B order: reference first, so ``coded`` is the speedup
 STATE_MODELS = ("obj", "coded")
 #: express-transit A/B order: reference (fusion off) first
 EXPRESS_MODES = ("off", "on")
+#: op-stream A/B order: generator reference first
+OPS_MODES = ("gen", "compiled")
+#: the six-app front-end workload set: full scale on the 4-node base
+#: system, where the op streams are long enough that the front end is
+#: a visible share of the wall clock
+OPS_SCALE = "full"
+OPS_NODES = 4
 DEFAULT_PATH = "BENCH_engine.json"
 DEFAULT_REPEAT = 2
 DEFAULT_THRESHOLD = 0.25
@@ -107,16 +128,20 @@ def _run_once(
     engine: str,
     state: str = "coded",
     express: str = "off",
+    ops: str = "compiled",
 ) -> Dict[str, Any]:
     """One fresh, cache-free, sanitizer-free simulation on ``engine``
-    with the ``state`` kernel model and ``express`` transit mode
-    (fusion off by default, so engine/kernel A/Bs measure one axis)."""
+    with the ``state`` kernel model, ``express`` transit mode (fusion
+    off by default, so engine/kernel A/Bs measure one axis) and ``ops``
+    front end (compiled op streams by default)."""
     previous = os.environ.get(ENGINE_ENV)
     previous_state = os.environ.get(STATE_ENV)
     previous_express = os.environ.get(EXPRESS_ENV)
+    previous_ops = os.environ.get(OPS_ENV)
     os.environ[ENGINE_ENV] = engine
     os.environ[STATE_ENV] = state
     os.environ[EXPRESS_ENV] = express
+    os.environ[OPS_ENV] = ops
     try:
         machine = Machine(config, sanitize=False)
         app = app_factory()
@@ -128,6 +153,7 @@ def _run_once(
             (ENGINE_ENV, previous),
             (STATE_ENV, previous_state),
             (EXPRESS_ENV, previous_express),
+            (OPS_ENV, previous_ops),
         ):
             if saved is None:
                 os.environ.pop(env, None)
@@ -243,17 +269,90 @@ def run_bench(repeat: int = DEFAULT_REPEAT) -> Dict[str, Any]:
         entry["express_speedup"] = round(express_speedup, 3)
         express_speedups.append(express_speedup)
         workloads[name] = entry
+    ops_workloads, ops_speedups = _run_ops_bench(repeat)
     return {
         "schema": SCHEMA_VERSION,
         "engines": list(ENGINES),
         "state_models": list(STATE_MODELS),
         "express_modes": list(EXPRESS_MODES),
+        "ops_modes": list(OPS_MODES),
         "repeat": repeat,
         "workloads": workloads,
+        "ops": {
+            "scale": OPS_SCALE,
+            "nodes": OPS_NODES,
+            "workloads": ops_workloads,
+        },
         "geomean_speedup": round(_geomean(speedups), 3),
         "geomean_kernel_speedup": round(_geomean(kernel_speedups), 3),
         "geomean_express_speedup": round(_geomean(express_speedups), 3),
+        "geomean_ops_speedup": round(_geomean(ops_speedups), 3),
     }
+
+
+def _run_ops_bench(
+    repeat: int,
+) -> Tuple[Dict[str, Any], List[float]]:
+    """Front-end A/B over the six-app workload set.
+
+    The compiled op streams are bit-identical to the generator path by
+    construction, so each app's cycles *and* events must agree across
+    the two modes — an A/B run doubles as an end-to-end differential.
+    The paired ``ops_speedup`` is an events/s ratio on the same host.
+    """
+    from ..system.presets import base_config
+
+    config = base_config(OPS_NODES)
+    workloads: Dict[str, Any] = {}
+    speedups: List[float] = []
+    for app_name in APP_ORDER:
+        entry: Dict[str, Any] = {}
+        reference: Optional[Dict[str, Any]] = None
+        for mode in OPS_MODES:
+            runs = [
+                _run_once(
+                    config,
+                    lambda: make_app(app_name, OPS_SCALE),
+                    "calendar",
+                    ops=mode,
+                )
+                for _ in range(repeat)
+            ]
+            best = min(runs, key=lambda r: float(r["wall_s"]))
+            for other in runs:
+                if (other["cycles"], other["events"]) != (
+                    best["cycles"], best["events"]
+                ):
+                    raise AssertionError(
+                        f"ops/{app_name}: non-deterministic repeat on "
+                        f"REPRO_OPS={mode}"
+                    )
+            if reference is None:
+                reference = best
+                entry["cycles"] = best["cycles"]
+                entry["events"] = best["events"]
+            elif (best["cycles"], best["events"]) != (
+                reference["cycles"], reference["events"]
+            ):
+                raise AssertionError(
+                    f"ops/{app_name}: REPRO_OPS={mode} diverged from the "
+                    f"generator reference — {best['cycles']} cycles / "
+                    f"{best['events']} events, expected "
+                    f"{reference['cycles']} / {reference['events']}"
+                )
+            wall = float(best["wall_s"])
+            entry[mode] = {
+                "wall_s": round(wall, 4),
+                "events_per_s": round(best["events"] / wall) if wall else 0,
+            }
+        speedup = (
+            entry["compiled"]["events_per_s"] / entry["gen"]["events_per_s"]
+            if entry["gen"]["events_per_s"] else 0.0
+        )
+        entry["ops_speedup"] = round(speedup, 3)
+        speedups.append(speedup)
+        workloads[app_name] = entry
+    return workloads, speedups
 
 
 def check_against(
@@ -308,6 +407,34 @@ def check_against(
     for name in base_workloads:
         if name not in current["workloads"]:
             problems.append(f"{name}: in the baseline but no longer benched")
+    # ops front-end section (schema ≤3 baselines predate it): per-app
+    # timing must match exactly — the compiled front end is bit-identical
+    # by contract — and the six-app geomean ratio is gated; per-app
+    # ratios ride along ungated because a single app's wall-clock pair
+    # is too noisy for a portable floor
+    base_ops = baseline.get("ops", {}).get("workloads", {})
+    for name, entry in current.get("ops", {}).get("workloads", {}).items():
+        base = base_ops.get(name)
+        if base is None:
+            continue
+        if (entry["cycles"], entry["events"]) != (
+            base["cycles"], base["events"]
+        ):
+            problems.append(
+                f"ops/{name}: timing drifted from the baseline — "
+                f"{entry['cycles']} cycles / {entry['events']} events vs "
+                f"baseline {base['cycles']} / {base['events']} "
+                f"(update BENCH_engine.json if the model changed on purpose)"
+            )
+    base_ops_geomean = baseline.get("geomean_ops_speedup")
+    if base_ops_geomean is not None and "geomean_ops_speedup" in current:
+        ops_floor = base_ops_geomean * (1.0 - threshold)
+        if current["geomean_ops_speedup"] < ops_floor:
+            problems.append(
+                f"ops: compiled-vs-gen six-app geomean regressed — "
+                f"{current['geomean_ops_speedup']:.2f}x vs baseline "
+                f"{base_ops_geomean:.2f}x (floor {ops_floor:.2f}x)"
+            )
     return problems
 
 
@@ -365,6 +492,23 @@ def format_report(payload: Dict[str, Any]) -> str:
         lines.append(
             f"geomean express speedup: "
             f"{payload['geomean_express_speedup']:.2f}x"
+        )
+    ops = payload.get("ops")
+    if ops:
+        lines.append("")
+        lines.append(
+            f"{'op streams':20s} {'cycles':>10s} {'events':>10s} "
+            f"{'gen ev/s':>10s} {'cmp ev/s':>10s} {'speedup':>8s}"
+        )
+        for name, entry in ops["workloads"].items():
+            lines.append(
+                f"{name:20s} {entry['cycles']:>10d} {entry['events']:>10d} "
+                f"{entry['gen']['events_per_s']:>10d} "
+                f"{entry['compiled']['events_per_s']:>10d} "
+                f"{entry['ops_speedup']:>7.2f}x"
+            )
+        lines.append(
+            f"geomean ops speedup: {payload['geomean_ops_speedup']:.2f}x"
         )
     return "\n".join(lines)
 

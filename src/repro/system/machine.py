@@ -17,6 +17,7 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from ..apps.opstream import compile_stream, ops_mode
 from ..cache.states import DirState, LineState
 from ..core.caesar import CaesarEngine
 from ..core.policy import CachingPolicy
@@ -233,8 +234,14 @@ class Machine:
     def run(self, app, max_cycles: Optional[int] = None) -> MachineStats:
         """Execute ``app`` on all processors until completion."""
         app.setup(self)
+        compiled = ops_mode() == "compiled"
         for stack in self.stacks():
-            stack.processor.start(app.ops(stack.proc_id, self))
+            if compiled:
+                stack.processor.start_compiled(
+                    compile_stream(app, stack.proc_id, self)
+                )
+            else:
+                stack.processor.start(app.ops(stack.proc_id, self))
         metrics = self.metrics
         if metrics is not None and metrics.sample_interval:
             self.sim.schedule(metrics.sample_interval, self._sample_metrics)

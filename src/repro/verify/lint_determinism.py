@@ -12,7 +12,7 @@ A run must be a pure function of the configuration and the seeds (see
   sharer set) makes message fan-out order depend on hash order, which
   varies across Python builds.  Wrap the iterable in ``sorted()``.
 
-Three structural rules ride along:
+Four structural rules ride along:
 
 * **H (hot-path slots)** — classes in the engine/fabric hot paths must
   declare ``__slots__``; attribute-dict lookups there dominate the
@@ -29,6 +29,12 @@ Three structural rules ride along:
   per-entry allocation and the hash-order iteration hazard that rule S
   guards against.  The object reference model keeps its set under a
   private ``_sharers`` name, which this rule deliberately skips.
+* **N (salted hashing)** — builtin ``hash()`` of a str/bytes/tuple is
+  salted per process (``PYTHONHASHSEED``), so deriving any persistent
+  or cross-process identifier from it breaks run reproducibility: two
+  processes disagree on every artifact that records the id.
+  ``BarrierSequencer`` did exactly this before PR 10.  Kernel code must
+  use a content hash (``zlib.crc32``) or an explicit counter instead.
 
 Run as ``python -m repro.verify.lint`` (exit status 1 when findings
 exist).  The rules are deliberately narrow — they whitelist nothing via
@@ -46,8 +52,8 @@ from typing import Iterator, List, Optional, Sequence, Set
 
 #: packages whose modules form the deterministic simulation kernel
 KERNEL_PACKAGES = (
-    "cache", "coherence", "core", "memory", "network", "node", "sim",
-    "system", "trace",
+    "apps", "cache", "coherence", "core", "memory", "network", "node",
+    "sim", "system", "trace",
 )
 
 #: modules where iteration order feeds message timing (rule S)
@@ -82,7 +88,7 @@ SCHEDULING_METHODS = {"schedule", "at", "call", "call_at"}
 
 @dataclass(frozen=True)
 class Finding:
-    rule: str  # "W" | "R" | "S" | "H" | "L" | "B"
+    rule: str  # "W" | "R" | "S" | "H" | "L" | "B" | "N"
     path: str  # repo-relative module path
     line: int
     message: str
@@ -140,6 +146,13 @@ class _ModuleLint(ast.NodeVisitor):
                     f"unseeded global randomness {dotted}() — take a "
                     f"seeded random.Random instance instead",
                 )
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            self._report(
+                "N", node,
+                "builtin hash() is salted per process (PYTHONHASHSEED) — "
+                "derive ids from zlib.crc32 or an explicit counter so "
+                "artifacts agree across processes",
+            )
         if (
             isinstance(node.func, ast.Attribute)
             and node.func.attr in SCHEDULING_METHODS

@@ -1,7 +1,7 @@
 """Framework adapters for the legacy determinism lint (PR 3).
 
 ``repro.verify.lint_determinism`` predates the rule framework and keeps
-its own single-file scanner with one-letter rule ids (W, R, S, H, L, B).
+its own single-file scanner with one-letter rule ids (W, R, S, H, L, B, N).
 Rather than rewrite it, each letter is wrapped as a framework
 :class:`Rule` so the umbrella runner, the ``# repro: allow[...]``
 suppressions, the baseline, and the JSON report all see determinism
@@ -26,6 +26,7 @@ _LETTERS: Dict[str, str] = {
     "H": "hot-module classes declare __slots__",
     "L": "no lambdas scheduled through the event engine",
     "B": "no Set-typed sharer fields in coherence modules",
+    "N": "no builtin hash() derived identifiers in kernel packages",
 }
 
 

@@ -65,6 +65,11 @@ HOT_REGIONS: Dict[str, FrozenSet[str]] = {
         "CaesarEngine.snoop", "CaesarEngine.try_deposit",
         "CaesarEngine.try_intercept",
     }),
+    # the processor front end: the generator dispatch loop and its
+    # compiled twin (integer-coded op chunks, DESIGN.md §13)
+    "node/processor.py": frozenset({
+        "Processor._run", "Processor._run_compiled",
+    }),
 }
 
 #: builtins whose call allocates a container / sorted copy
@@ -81,7 +86,12 @@ _ALLOC_NODES = (
 
 
 def _is_tracer_guard(test: ast.AST) -> bool:
-    """``if tracer is not None:`` / ``if self._tracer is not None:``."""
+    """``if tracer is not None:`` / ``if self._tracer is not None:`` /
+    ``if trace_values:`` — observability is off in measured runs, so
+    the guarded branch is cold by definition."""
+    if isinstance(test, (ast.Name, ast.Attribute)):
+        chain = dotted_name(test)
+        return chain is not None and "trace" in chain.rsplit(".", 1)[-1]
     if not (isinstance(test, ast.Compare) and len(test.ops) == 1
             and isinstance(test.ops[0], ast.IsNot)
             and isinstance(test.comparators[0], ast.Constant)

@@ -1,0 +1,6 @@
+"""Fixture: a salted-hash-derived identifier in a kernel package (N)."""
+
+
+class Sequencer:
+    def __init__(self, name):
+        self.base = hash(name) % 1000

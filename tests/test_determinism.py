@@ -79,3 +79,73 @@ def test_event_counts_match_across_runs():
         machine.run(GaussianElimination(n=10))
         counts.append(machine.sim.events_fired)
     assert counts[0] == counts[1]
+
+
+# ---------------------------------------------------------------------------
+# cross-process determinism
+# ---------------------------------------------------------------------------
+#
+# The in-process tests above cannot see per-process hash salting:
+# builtin hash() of a str changes with PYTHONHASHSEED, which is fixed
+# at interpreter start.  BarrierSequencer once derived barrier ids from
+# hash(app_name), so two processes disagreed on every artifact that
+# records them.  This regression test runs the same workload in
+# subprocesses with different hash seeds and requires byte-identical
+# fingerprints (it fails on the hash()-based id scheme).
+
+_FINGERPRINT_SCRIPT = """
+import json
+import sys
+
+from repro.apps import GaussianElimination
+from repro.apps.base import BarrierSequencer
+from repro.system.config import SystemConfig
+from repro.system.machine import Machine
+
+machine = Machine(
+    SystemConfig(num_nodes=4, l1_size=1024, l2_size=4096,
+                 switch_cache_size=512)
+)
+app = GaussianElimination(n=10)
+stats = machine.run(app)
+traces = {}
+for stack in machine.stacks():
+    traces[str(stack.proc_id)] = [
+        list(entry) for entry in stack.processor.value_trace
+    ]
+fingerprint = {
+    "barrier_base": BarrierSequencer(app.name)._base,
+    "exec_time": stats.exec_time,
+    "events": machine.sim.events_fired,
+    "finish_times": sorted(stats.finish_times.items()),
+    "payload": stats.to_payload(),
+    "traces": traces,
+}
+json.dump(fingerprint, sys.stdout, sort_keys=True, default=repr)
+"""
+
+
+def _fingerprint_with_hash_seed(seed):
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(seed)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    proc = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_run_fingerprint_survives_hash_seed_changes():
+    fingerprints = {
+        _fingerprint_with_hash_seed(seed) for seed in (0, 1, 4242)
+    }
+    assert len(fingerprints) == 1, (
+        "run artifacts depend on PYTHONHASHSEED — some id or ordering "
+        "still flows through builtin hash()"
+    )

@@ -205,8 +205,8 @@ class TestFramework:
         ids = [rule.id for rule in all_rules()]
         assert len(ids) == len(set(ids))
         # determinism letters first, then flow, lanes, hot-path
-        assert ids[:6] == ["W", "R", "S", "H", "L", "B"]
-        assert ids[6:] == [
+        assert ids[:7] == ["W", "R", "S", "H", "L", "B", "N"]
+        assert ids[7:] == [
             "F-UNHANDLED", "F-ORPHAN", "F-DEAD", "F-NOELSE",
             "C-NOLANE", "C-SAMELANE", "C-BACKWARD", "C-CYCLE",
             "P-ALLOC", "P-CLOSURE", "P-ATTR", "P-NOSLOTS",
